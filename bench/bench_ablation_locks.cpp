@@ -1,0 +1,41 @@
+// Ablation: the lock protecting the task queues.
+//
+// Paper §IV-A argues for spinlocks ("a thread that modifies a list enters
+// the critical section for a very short period, less than the time required
+// to perform a context switch"); §VI lists lock-free lists as future work.
+// This bench compares all four queue backends on the paper's
+// micro-benchmark, at the two contention extremes: the private per-core
+// queue and the fully shared global queue.
+#include <cstdio>
+
+#include "bench/table_scheduling.hpp"
+#include "topo/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace piom;
+  bench::SchedulingBenchConfig cfg;
+  if (bench::quick_mode(argc, argv)) {
+    cfg.warmup = 50;
+    cfg.iterations = 300;
+  }
+  const topo::Machine machine = topo::Machine::borderline();
+  std::printf(
+      "=== Ablation — queue lock implementation (borderline topology, ns "
+      "per task) ===\n");
+  std::printf("expected shape: spinlock ~ lock-free < ticket < mutex under "
+              "contention; all equal on the uncontended per-core queue\n\n");
+  std::printf("%-12s %16s %16s\n", "queue", "per-core #0", "global (8 cores)");
+  for (const QueueKind kind : {QueueKind::kSpin, QueueKind::kTicket,
+                               QueueKind::kMutex, QueueKind::kLockFree}) {
+    TaskManagerConfig tm_cfg;
+    tm_cfg.queue_kind = kind;
+    bench::SchedulingBench bench_run(machine, tm_cfg, cfg);
+    const double local = bench_run.measure(topo::CpuSet::single(0));
+    const double global =
+        bench_run.measure(topo::CpuSet::first_n(machine.ncpus()));
+    std::printf("%-12s %16.0f %16.0f\n", queue_kind_name(kind), local, global);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

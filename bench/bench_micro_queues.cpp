@@ -1,0 +1,80 @@
+// google-benchmark micro-benchmarks of the queue primitives themselves:
+// raw enqueue/dequeue cost per backend, uncontended and contended, plus the
+// Algorithm-2 empty-check fast path. These are the building-block numbers
+// behind Tables I/II.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/lf_queue.hpp"
+#include "core/task_queue.hpp"
+
+namespace {
+
+using namespace piom;
+
+TaskResult nop(void*) { return TaskResult::kDone; }
+
+std::unique_ptr<ITaskQueue> make_queue(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<SpinTaskQueue>();
+    case 1: return std::make_unique<TicketTaskQueue>();
+    case 2: return std::make_unique<MutexTaskQueue>();
+    default: return std::make_unique<LockFreeTaskQueue>();
+  }
+}
+
+void BM_EnqueueDequeue(benchmark::State& state) {
+  auto q = make_queue(static_cast<int>(state.range(0)));
+  Task task;
+  task.init(&nop, nullptr, {}, kTaskNone);
+  task.state.store(TaskState::kQueued);
+  for (auto _ : state) {
+    q->enqueue(&task);
+    benchmark::DoNotOptimize(q->try_dequeue());
+  }
+}
+BENCHMARK(BM_EnqueueDequeue)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->ArgName("kind");
+
+void BM_EnqueueDequeueContended(benchmark::State& state) {
+  // One queue shared by all benchmark threads; each thread cycles its own
+  // task through it.
+  static std::unique_ptr<ITaskQueue> q;
+  if (state.thread_index() == 0) q = make_queue(static_cast<int>(state.range(0)));
+  Task task;
+  task.init(&nop, nullptr, {}, kTaskNone);
+  task.state.store(TaskState::kQueued);
+  for (auto _ : state) {
+    q->enqueue(&task);
+    Task* t = q->try_dequeue();
+    benchmark::DoNotOptimize(t);
+    // Under contention we may pop another thread's task or nothing; both
+    // are fine for a cost measurement, but never lose a popped task:
+    if (t != nullptr && t != &task) q->enqueue(t);
+  }
+  // Drain on exit so no thread's stack-allocated task stays referenced.
+  if (state.thread_index() == 0) {
+  }
+}
+BENCHMARK(BM_EnqueueDequeueContended)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Threads(8)
+    ->ArgName("kind")
+    ->UseRealTime();
+
+void BM_EmptyCheck(benchmark::State& state) {
+  // Algorithm 2's fast path: try_dequeue on an empty queue.
+  SpinTaskQueue with_check(/*double_check=*/true);
+  SpinTaskQueue without(/*double_check=*/false);
+  SpinTaskQueue& q = state.range(0) != 0 ? with_check : without;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_dequeue());
+  }
+}
+BENCHMARK(BM_EmptyCheck)->Arg(1)->Arg(0)->ArgName("double_check");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Reproduces Table I: micro-benchmark of task scheduling on a 4-way
+// dual-core machine ('borderline', 8 cores, no shared L3).
+//
+// Expected shape (paper, ns): per-core queues 770-860 (core #0 slightly
+// above its siblings; remote cores pay inter-CPU traffic), per-chip queues
+// ~1060-1200, global queue ~4720 — the global queue is the clear loser and
+// its overhead grows with core count (compare Table II).
+#include "bench/table_scheduling.hpp"
+#include "topo/machine.hpp"
+
+int main(int argc, char** argv) {
+  const piom::topo::Machine machine = piom::topo::Machine::borderline();
+  piom::bench::run_scheduling_table(
+      machine,
+      "=== Table I — task scheduling micro-benchmark on 'borderline' "
+      "(4-way dual-core, synthetic) ===",
+      "paper reference (ns): per-core 770-1819, per-chip 1059-1199, "
+      "global(8) 4720",
+      argc, argv);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table II: micro-benchmark of task scheduling on a 4-way
+// quad-core NUMA machine ('kwak', 16 cores, shared L3 per chip — Fig 3).
+//
+// Expected shape (paper, ns): per-core ~700 local / ~1800 remote-NUMA,
+// per-chip ~1900-2050, global(16) ~13585 — the global queue degrades much
+// faster than on the 8-core machine.
+#include "bench/table_scheduling.hpp"
+#include "topo/machine.hpp"
+
+int main(int argc, char** argv) {
+  const piom::topo::Machine machine = piom::topo::Machine::kwak();
+  piom::bench::run_scheduling_table(
+      machine,
+      "=== Table II — task scheduling micro-benchmark on 'kwak' "
+      "(4-way quad-core NUMA, synthetic) ===",
+      "paper reference (ns): per-core 697-1867, per-chip 1905-5216, "
+      "global(16) 13585",
+      argc, argv);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the paper-reproduction benchmarks.
+#pragma once
+
+#include <pthread.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/timing.hpp"
+
+namespace piom::bench {
+
+/// Pin the calling thread to host CPU `cpu` (best effort).
+inline void pin_self(int cpu) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || static_cast<unsigned>(cpu) >= hw) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+/// --quick on the command line (or PIOM_BENCH_QUICK=1) shrinks iteration
+/// counts so `for b in build/bench/*; do $b; done` stays fast.
+inline bool quick_mode(int argc, char** argv) {
+  return util::arg_flag(argc, argv, "quick") ||
+         util::env_bool("PIOM_BENCH_QUICK", false);
+}
+
+/// Print one table row: label column then fixed-width numeric cells.
+inline void print_row(const std::string& label,
+                      const std::vector<std::string>& cells, int label_width,
+                      int cell_width) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& c : cells) std::printf("%*s", cell_width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt_ns(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", ns);
+  return buf;
+}
+
+inline std::string fmt_us(double us, int decimals = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, us);
+  return buf;
+}
+
+}  // namespace piom::bench

@@ -1,0 +1,116 @@
+#include "bench/table_scheduling.hpp"
+
+#include <cstdio>
+
+namespace piom::bench {
+
+namespace {
+/// Chip-level grouping nodes of the machine (the "per-chip queues" row):
+/// the parent of each core when it is not the root.
+std::vector<const topo::TopoNode*> grouping_nodes(const topo::Machine& m) {
+  std::vector<const topo::TopoNode*> nodes;
+  for (const auto& n : m.nodes()) {
+    if (n->level == topo::Level::kCore || n.get() == &m.root()) continue;
+    // Keep only the deepest grouping level (direct parents of cores).
+    bool parent_of_core = false;
+    for (const topo::TopoNode* child : n->children) {
+      if (child->level == topo::Level::kCore) parent_of_core = true;
+    }
+    if (parent_of_core) nodes.push_back(n.get());
+  }
+  return nodes;
+}
+}  // namespace
+
+void run_scheduling_table(const topo::Machine& machine, const char* title,
+                          const char* paper_note, int argc, char** argv) {
+  SchedulingBenchConfig cfg;
+  if (quick_mode(argc, argv)) {
+    cfg.warmup = 50;
+    cfg.batches = 3;
+    cfg.iterations = 300;
+  }
+  const int ncpus = machine.ncpus();
+
+  std::printf("%s\n", title);
+  std::printf("%s\n", paper_note);
+  std::printf("topology:\n%s", machine.to_string().c_str());
+  std::printf("(times in nanoseconds; task submitted by core #0)\n\n");
+
+  SchedulingBench bench(machine, TaskManagerConfig{}, cfg);
+
+  const int label_w = 28;
+  const int cell_w = 8;
+  {
+    std::vector<std::string> header;
+    for (int c = 0; c < ncpus; ++c) header.push_back("#" + std::to_string(c));
+    print_row("core", header, label_w, cell_w);
+  }
+
+  // Row 1: per-core queues, one measurement per target core.
+  {
+    std::vector<std::string> cells;
+    for (int c = 0; c < ncpus; ++c) {
+      cells.push_back(fmt_ns(bench.measure(topo::CpuSet::single(c))));
+    }
+    print_row("per-core queues", cells, label_w, cell_w);
+  }
+
+  // Row 2: per-chip (grouping-level) queues, one measurement per group.
+  const auto groups = grouping_nodes(machine);
+  {
+    std::vector<std::string> cells;
+    for (const topo::TopoNode* g : groups) {
+      const std::string v = fmt_ns(bench.measure(g->cpus));
+      // Spread each group's value across its cores' columns: value then
+      // blanks (paper prints one number per chip).
+      bool first = true;
+      for (int c = g->cpus.first(); c >= 0; c = g->cpus.next(c)) {
+        cells.push_back(first ? v : "");
+        first = false;
+      }
+    }
+    const int per_group = groups.empty() ? 0 : groups.front()->cpus.count();
+    print_row("per-chip queues, " + std::to_string(per_group) + " cores",
+              cells, label_w, cell_w);
+  }
+
+  // Row 3: global queue, all cores.
+  {
+    std::vector<std::string> cells{
+        fmt_ns(bench.measure(topo::CpuSet::first_n(ncpus)))};
+    print_row("global queue (" + std::to_string(ncpus) + " cores)", cells,
+              label_w, cell_w);
+  }
+
+  // Distribution check (paper: per-chip queues are shared evenly; the
+  // global queue on NUMA machines is not).
+  std::printf("\ntask-execution distribution (%% of tasks per core):\n");
+  {
+    const auto shares =
+        bench.distribution(groups.empty() ? topo::CpuSet::first_n(ncpus)
+                                          : groups.front()->cpus,
+                           cfg.iterations);
+    std::vector<std::string> cells;
+    for (double s : shares) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0f%%", s * 100);
+      cells.push_back(buf);
+    }
+    print_row("first group queue", cells, label_w, cell_w);
+  }
+  {
+    const auto shares =
+        bench.distribution(topo::CpuSet::first_n(ncpus), cfg.iterations);
+    std::vector<std::string> cells;
+    for (double s : shares) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0f%%", s * 100);
+      cells.push_back(buf);
+    }
+    print_row("global queue", cells, label_w, cell_w);
+  }
+  std::printf("\n");
+}
+
+}  // namespace piom::bench

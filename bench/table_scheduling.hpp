@@ -1,0 +1,130 @@
+// Shared implementation of the Table I / Table II scheduling
+// micro-benchmarks (paper §V-A):
+//
+//   "we measure the time spent to create an empty task (with no
+//    computation), to schedule it, and to notice its completion. We have
+//    measured the performance of every queue in the hierarchy. In all
+//    cases, the task is submitted by core #0."
+//
+// Harness: one pinned poller thread per simulated core runs the Algorithm-1
+// walk (tm.schedule(cpu)) in a tight loop — every core polls all its queues
+// all the time, exactly like PIOMan workers, so Algorithm 2's lock-free
+// empty checks are on the measured path. The measuring thread acts as
+// core #0: it submits a task with the probed CPU set and spins (scheduling
+// core #0's own hierarchy, so it can execute its own tasks) until the task
+// completes.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/task_manager.hpp"
+#include "sync/backoff.hpp"
+#include "topo/machine.hpp"
+
+namespace piom::bench {
+
+struct SchedulingBenchConfig {
+  int warmup = 500;
+  int iterations = 1000;  ///< per sub-batch
+  int batches = 9;        ///< median of the sub-batch means is reported
+};
+
+class SchedulingBench {
+ public:
+  SchedulingBench(const topo::Machine& machine, TaskManagerConfig tm_cfg,
+                  SchedulingBenchConfig cfg)
+      : machine_(machine), tm_(machine, tm_cfg), cfg_(cfg) {
+    // Pollers for every core except #0 (the measuring thread *is* core #0).
+    for (int c = 1; c < machine_.ncpus(); ++c) {
+      pollers_.emplace_back([this, c] {
+        pin_self(c);
+        while (!stop_.load(std::memory_order_acquire)) {
+          tm_.schedule(c);
+        }
+      });
+    }
+    pin_self(0);
+  }
+
+  ~SchedulingBench() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& t : pollers_) t.join();
+  }
+
+  /// ns for create+schedule+completion of an empty task whose CPU set is
+  /// `cpus`, submitted by core #0: median over `batches` sub-batch means
+  /// (the median suppresses scheduler-noise outliers).
+  double measure(const topo::CpuSet& cpus) {
+    run_batch(cpus, cfg_.warmup);
+    std::vector<double> means;
+    means.reserve(static_cast<std::size_t>(cfg_.batches));
+    for (int b = 0; b < cfg_.batches; ++b) {
+      const int64_t t0 = util::now_ns();
+      run_batch(cpus, cfg_.iterations);
+      const int64_t t1 = util::now_ns();
+      means.push_back(static_cast<double>(t1 - t0) / cfg_.iterations);
+    }
+    std::sort(means.begin(), means.end());
+    return means[means.size() / 2];
+  }
+
+  /// Per-core execution shares (fraction of tasks run by each core) for a
+  /// batch of tasks on `cpus` — reproduces the paper's distribution
+  /// observations ("each of them executes roughly 25% of the tasks").
+  std::vector<double> distribution(const topo::CpuSet& cpus, int tasks) {
+    tm_.reset_stats();
+    run_batch(cpus, tasks);
+    std::vector<double> shares(static_cast<std::size_t>(machine_.ncpus()), 0.0);
+    uint64_t total = 0;
+    for (int c = 0; c < machine_.ncpus(); ++c) {
+      total += tm_.core_stats(c).tasks_run;
+    }
+    if (total == 0) return shares;
+    for (int c = 0; c < machine_.ncpus(); ++c) {
+      shares[static_cast<std::size_t>(c)] =
+          static_cast<double>(tm_.core_stats(c).tasks_run) /
+          static_cast<double>(total);
+    }
+    return shares;
+  }
+
+  TaskManager& task_manager() { return tm_; }
+
+ private:
+  static TaskResult empty_fn(void*) { return TaskResult::kDone; }
+
+  void run_batch(const topo::CpuSet& cpus, int n) {
+    Task task;
+    for (int i = 0; i < n; ++i) {
+      task.init(&empty_fn, nullptr, cpus, kTaskNone);
+      tm_.submit(&task);
+      // Core #0 both creates tasks and executes them (the paper notes the
+      // resulting slight overhead on core #0).
+      sync::Backoff backoff;
+      while (!task.completed()) {
+        if (cpus.empty() || cpus.test(0)) {
+          tm_.schedule(0);
+        } else {
+          backoff.spin();
+        }
+      }
+    }
+  }
+
+  const topo::Machine& machine_;
+  TaskManager tm_;
+  SchedulingBenchConfig cfg_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> pollers_;
+};
+
+/// Run the full table for `machine` and print it in the paper's layout.
+void run_scheduling_table(const topo::Machine& machine, const char* title,
+                          const char* paper_note, int argc, char** argv);
+
+}  // namespace piom::bench

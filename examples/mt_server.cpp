@@ -1,0 +1,71 @@
+// Multithreaded request/reply server — the Fig 4 scenario as an
+// application. Rank 1 runs a pool of service threads, each blocked in
+// recv() on its own tag; rank 0 fires requests at them. With the PIOMan
+// engine the blocked threads cost nothing: idle cores poll the fabric and
+// wake exactly the thread whose message arrived.
+//
+// Build & run:  ./build/examples/mt_server
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "util/timing.hpp"
+
+using namespace piom;
+
+int main() {
+  constexpr int kServiceThreads = 16;
+  constexpr int kRequestsPerThread = 50;
+
+  mpi::WorldConfig cfg;
+  cfg.engine = mpi::EngineKind::kPioman;
+  cfg.pioman.workers = 4;
+  mpi::World world(cfg);
+
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> service;
+  for (int t = 0; t < kServiceThreads; ++t) {
+    service.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        int64_t request = 0;
+        // Blocked here most of the time — no polling, no CPU burned.
+        world.comm(1).recv(0, static_cast<mpi::Tag>(t), &request,
+                           sizeof(request));
+        const int64_t reply = request * request;  // the "service"
+        world.comm(1).send(0, static_cast<mpi::Tag>(100 + t), &reply,
+                           sizeof(reply));
+        served.fetch_add(1);
+      }
+    });
+  }
+
+  const int64_t t0 = util::now_ns();
+  int64_t checksum = 0;
+  for (int i = 0; i < kServiceThreads * kRequestsPerThread; ++i) {
+    const int t = i % kServiceThreads;
+    const int64_t request = i;
+    int64_t reply = 0;
+    world.comm(0).send(1, static_cast<mpi::Tag>(t), &request, sizeof(request));
+    world.comm(0).recv(1, static_cast<mpi::Tag>(100 + t), &reply,
+                       sizeof(reply));
+    if (reply != request * request) {
+      std::printf("BAD REPLY for request %d\n", i);
+      return 1;
+    }
+    checksum += reply;
+  }
+  const double total_us = static_cast<double>(util::now_ns() - t0) * 1e-3;
+  for (auto& th : service) th.join();
+
+  std::printf("%d service threads handled %llu requests in %.1f ms "
+              "(%.1f us per round trip), checksum %lld\n",
+              kServiceThreads, static_cast<unsigned long long>(served.load()),
+              total_us / 1e3,
+              total_us / (kServiceThreads * kRequestsPerThread),
+              static_cast<long long>(checksum));
+  std::printf("blocked service threads consumed no CPU while idle — the "
+              "runtime's idle cores did the polling.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Overlap pipeline: the paper's headline use case as an application.
+//
+// A two-rank "cluster" exchanges large blocks while both ranks crunch
+// numbers — the pattern of any halo-exchange / pipelined stencil code. With
+// the PIOMan engine the rendezvous handshake progresses on idle cores, so
+// the transfers hide behind the computation; with the global-lock baseline
+// engine they cannot. The example prints the measured iteration times for
+// both engines so you can see the difference live.
+//
+// Build & run:  ./build/examples/overlap_pipeline
+#include <cstdio>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "util/timing.hpp"
+
+using namespace piom;
+
+namespace {
+
+/// One rank's work for a pipeline step: start the exchange, compute, wait.
+double run_pipeline(mpi::World& world, int steps, std::size_t block_size,
+                    double compute_us) {
+  std::vector<uint8_t> tx0(block_size, 1), rx0(block_size);
+  std::vector<uint8_t> tx1(block_size, 2), rx1(block_size);
+  const int64_t t0 = util::now_ns();
+  std::thread rank1([&] {
+    for (int s = 0; s < steps; ++s) {
+      mpi::Request sr, rr;
+      world.comm(1).irecv(rr, 0, 1, rx1.data(), rx1.size());
+      world.comm(1).isend(sr, 0, 2, tx1.data(), tx1.size());
+      util::burn_cpu_us(compute_us);  // the "stencil update"
+      world.comm(1).wait(rr);
+      world.comm(1).wait(sr);
+    }
+  });
+  for (int s = 0; s < steps; ++s) {
+    mpi::Request sr, rr;
+    world.comm(0).irecv(rr, 1, 2, rx0.data(), rx0.size());
+    world.comm(0).isend(sr, 1, 1, tx0.data(), tx0.size());
+    util::burn_cpu_us(compute_us);
+    world.comm(0).wait(rr);
+    world.comm(0).wait(sr);
+  }
+  rank1.join();
+  return static_cast<double>(util::now_ns() - t0) * 1e-3 / steps;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBlock = 1 << 20;  // 1 MB halo per direction
+  constexpr double kComputeUs = 1500;      // computation per step
+  constexpr int kSteps = 10;
+
+  std::printf("pipeline: %d steps, %zu KB exchanged per direction, %.0f us "
+              "computation per step\n\n",
+              kSteps, kBlock / 1024, kComputeUs);
+  // Lower bound: computation alone (perfect overlap would reach this).
+  std::printf("%-16s %14s %18s\n", "engine", "us/step",
+              "(ideal = compute)");
+  for (const auto kind :
+       {mpi::EngineKind::kMvapichLike, mpi::EngineKind::kPioman}) {
+    mpi::WorldConfig cfg;
+    cfg.engine = kind;
+    cfg.pioman.workers = 4;
+    mpi::World world(cfg);
+    run_pipeline(world, 2, kBlock, kComputeUs);  // warm-up
+    const double us = run_pipeline(world, kSteps, kBlock, kComputeUs);
+    std::printf("%-16s %14.0f %18.0f\n", engine_kind_name(kind), us,
+                kComputeUs);
+  }
+  std::printf(
+      "\nThe PIOMan engine's us/step should sit close to the computation "
+      "time (communication hidden);\nthe global-lock engine pays "
+      "computation + transfer because the rendezvous stalls while both "
+      "ranks compute.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "aio/aio.hpp"
+
+namespace piom::aio {
+
+AioManager::AioManager(TaskManager& tm, std::vector<SimDisk*> disks,
+                       AioManagerConfig config)
+    : tm_(tm) {
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    polls_.emplace_back();
+    DiskPoll& dp = polls_.back();
+    dp.disk = disks[i];
+    dp.mgr = this;
+    const topo::CpuSet cpus = i < config.poll_cpusets.size()
+                                  ? config.poll_cpusets[i]
+                                  : topo::CpuSet{};
+    dp.task.init(&poll_trampoline, &dp, cpus,
+                 piom::kTaskRepeat | piom::kTaskNotify);
+    tm_.submit(&dp.task);
+  }
+}
+
+AioManager::~AioManager() { shutdown(); }
+
+TaskResult AioManager::poll_trampoline(void* arg) {
+  auto* dp = static_cast<DiskPoll*>(arg);
+  dp->mgr->poll_disk(*dp->disk);
+  if (dp->mgr->stopping_.load(std::memory_order_acquire) &&
+      dp->mgr->inflight_.load(std::memory_order_acquire) == 0) {
+    return TaskResult::kDone;
+  }
+  return TaskResult::kAgain;
+}
+
+int AioManager::poll_disk(SimDisk& disk) {
+  int events = 0;
+  DiskCompletion c;
+  while (disk.poll(c)) {
+    auto* req = reinterpret_cast<IoRequest*>(c.wrid);
+    req->bytes = c.bytes;
+    req->ok = c.ok;
+    req->done.store(true, std::memory_order_release);
+    req->sem.post();
+    completions_.fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_release);
+    ++events;
+  }
+  return events;
+}
+
+void AioManager::read(SimDisk& disk, std::size_t offset, void* buf,
+                      std::size_t len, IoRequest& req) {
+  req.reset();
+  inflight_.fetch_add(1, std::memory_order_acquire);
+  disk.submit_read(offset, buf, len, reinterpret_cast<uint64_t>(&req));
+}
+
+void AioManager::write(SimDisk& disk, std::size_t offset, const void* buf,
+                       std::size_t len, IoRequest& req) {
+  req.reset();
+  inflight_.fetch_add(1, std::memory_order_acquire);
+  disk.submit_write(offset, buf, len, reinterpret_cast<uint64_t>(&req));
+}
+
+void AioManager::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // The polling tasks observe stopping_ + drained in-flight count and
+  // finish; wait for each so no task references us after destruction.
+  // If no runtime worker is draining the queues, drive progress ourselves.
+  for (DiskPoll& dp : polls_) {
+    // Schedule on a core the task's CPU set allows, or core 0 for the
+    // any-core (empty) set.
+    const int cpu = dp.task.cpuset.empty() ? 0 : dp.task.cpuset.first();
+    while (!dp.task.completed()) {
+      tm_.schedule(cpu);
+    }
+  }
+}
+
+}  // namespace piom::aio

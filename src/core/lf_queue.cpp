@@ -1,0 +1,8 @@
+#include "core/lf_queue.hpp"
+
+// Everything is defined inline in the header; this TU exists so the library
+// has a stable object file for the class (and a place for future out-of-line
+// helpers).
+namespace piom {
+static_assert(sizeof(LockFreeTaskQueue) >= 16);
+}  // namespace piom

@@ -1,0 +1,243 @@
+#include "core/task_manager.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/lf_queue.hpp"
+#include "sync/backoff.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
+
+namespace piom {
+
+const char* queue_kind_name(QueueKind k) {
+  switch (k) {
+    case QueueKind::kSpin: return "spinlock";
+    case QueueKind::kTicket: return "ticketlock";
+    case QueueKind::kMutex: return "mutex";
+    case QueueKind::kLockFree: return "lockfree";
+  }
+  return "?";
+}
+
+namespace {
+std::unique_ptr<ITaskQueue> make_queue(const TaskManagerConfig& cfg) {
+  switch (cfg.queue_kind) {
+    case QueueKind::kSpin:
+      return std::make_unique<SpinTaskQueue>(cfg.double_check, cfg.queue_stats);
+    case QueueKind::kTicket:
+      return std::make_unique<TicketTaskQueue>(cfg.double_check,
+                                               cfg.queue_stats);
+    case QueueKind::kMutex:
+      return std::make_unique<MutexTaskQueue>(cfg.double_check,
+                                              cfg.queue_stats);
+    case QueueKind::kLockFree:
+      return std::make_unique<LockFreeTaskQueue>();
+  }
+  throw std::invalid_argument("unknown QueueKind");
+}
+}  // namespace
+
+TaskManager::TaskManager(const topo::Machine& machine, TaskManagerConfig config)
+    : machine_(machine), config_(config) {
+  queues_.reserve(machine_.nnodes());
+  for (std::size_t i = 0; i < machine_.nnodes(); ++i) {
+    queues_.push_back(make_queue(config_));
+  }
+  core_stats_.resize(static_cast<std::size_t>(machine_.ncpus()));
+}
+
+bool TaskManager::cpu_allowed(const Task& task, int cpu) {
+  return task.cpuset.empty() || task.cpuset.test(cpu);
+}
+
+void TaskManager::submit(Task* task) {
+  assert(task != nullptr && task->fn != nullptr);
+  const TaskState prev = task->state.exchange(TaskState::kQueued,
+                                              std::memory_order_acq_rel);
+  assert(prev == TaskState::kCreated || prev == TaskState::kDone);
+  (void)prev;
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  PIOM_TRACE(util::trace::Kind::kTaskSubmit, task->options,
+             reinterpret_cast<uint64_t>(task));
+  if ((task->options & kTaskUrgent) != 0) {
+    // Preemptive path: dedicated queue, out-of-band wakeup.
+    urgent_queue_.enqueue(task);
+    if (urgent_notifier_) urgent_notifier_();
+    return;
+  }
+  const topo::TopoNode& node =
+      config_.single_global_queue ? machine_.root()
+                                  : machine_.node_covering(task->cpuset);
+  queues_[static_cast<std::size_t>(node.id)]->enqueue(task);
+}
+
+int TaskManager::run_urgent(int cpu) {
+  int executed = 0;
+  std::size_t budget = urgent_queue_.size_approx();
+  for (std::size_t i = 0; i < budget; ++i) {
+    Task* task = urgent_queue_.try_dequeue();
+    if (task == nullptr) break;
+    // Preemptive semantics: the CPU set is advisory, run it right here.
+    PIOM_TRACE(util::trace::Kind::kUrgentRun, cpu,
+               reinterpret_cast<uint64_t>(task));
+    run_task(task, urgent_queue_, cpu);
+    ++executed;
+  }
+  return executed;
+}
+
+void TaskManager::set_urgent_notifier(std::function<void()> notifier) {
+  urgent_notifier_ = std::move(notifier);
+}
+
+std::size_t TaskManager::urgent_pending_approx() const {
+  return urgent_queue_.size_approx();
+}
+
+ITaskQueue& TaskManager::queue_of(const topo::TopoNode& node) {
+  return *queues_[static_cast<std::size_t>(node.id)];
+}
+
+ITaskQueue& TaskManager::global_queue() {
+  return *queues_[static_cast<std::size_t>(machine_.root().id)];
+}
+
+void TaskManager::run_task(Task* task, ITaskQueue& queue, int cpu) {
+  task->state.store(TaskState::kRunning, std::memory_order_relaxed);
+  task->last_cpu.store(cpu, std::memory_order_relaxed);
+  task->run_count.fetch_add(1, std::memory_order_relaxed);
+  PIOM_TRACE(util::trace::Kind::kTaskRun, cpu,
+             reinterpret_cast<uint64_t>(task));
+  const TaskResult result = task->fn(task->arg);
+  if ((task->options & kTaskRepeat) != 0 && result == TaskResult::kAgain) {
+    // Paper: "When the processing of a repetitive task ends, the task is
+    // re-enqueued into the same list."
+    PIOM_TRACE(util::trace::Kind::kTaskRequeue, cpu,
+               reinterpret_cast<uint64_t>(task));
+    task->state.store(TaskState::kQueued, std::memory_order_release);
+    queue.enqueue(task);
+    return;
+  }
+  PIOM_TRACE(util::trace::Kind::kTaskDone, cpu,
+             reinterpret_cast<uint64_t>(task));
+  const Task::DoneFn on_done = task->on_done;
+  assert(on_done == nullptr || (task->options & kTaskNotify) == 0);
+  task->state.store(TaskState::kDone, std::memory_order_release);
+  if ((task->options & kTaskNotify) != 0) {
+    // After this post the owner may reuse/destroy the task storage; do not
+    // touch *task afterwards.
+    task->done_sem.post();
+    return;
+  }
+  if (on_done != nullptr) on_done(task);  // final touch: may recycle storage
+}
+
+int TaskManager::drain_queue(ITaskQueue& queue, int cpu) {
+  // Bound the pass by a snapshot of the current size so repeatable tasks we
+  // re-enqueue (and tasks enqueued concurrently) do not trap us here.
+  std::size_t budget = queue.size_approx();
+  if (config_.max_tasks_per_pass > 0) {
+    budget = std::min<std::size_t>(
+        budget, static_cast<std::size_t>(config_.max_tasks_per_pass));
+  }
+  int executed = 0;
+  for (std::size_t i = 0; i < budget; ++i) {
+    Task* task = queue.try_dequeue();
+    if (task == nullptr) break;
+    if (!cpu_allowed(*task, cpu)) {
+      // This queue's node covers more cores than the task's cpuset allows
+      // (e.g. cpuset {0,2} lands in a machine-wide queue); put it back for
+      // an allowed core and keep scanning.
+      queue.enqueue(task);
+      continue;
+    }
+    run_task(task, queue, cpu);
+    ++executed;
+  }
+  return executed;
+}
+
+int TaskManager::schedule(int cpu) {
+  return schedule_from_level(cpu, topo::Level::kCore);
+}
+
+int TaskManager::schedule_from_level(int cpu, topo::Level shallowest) {
+  CoreStats& cs = *core_stats_[static_cast<std::size_t>(cpu)];
+  cs.schedule_calls++;
+  // Urgent tasks first, regardless of the requested depth window.
+  int executed = run_urgent(cpu);
+  // Algorithm 1: "for Queue = Per_Core_Queue to Global_Queue do ..."
+  for (const topo::TopoNode* node : machine_.path_to_root(cpu)) {
+    if (static_cast<int>(node->level) > static_cast<int>(shallowest)) {
+      continue;  // deeper than requested (e.g. timer services global only)
+    }
+    executed += drain_queue(*queues_[static_cast<std::size_t>(node->id)], cpu);
+  }
+  cs.tasks_run += static_cast<uint64_t>(executed);
+  return executed;
+}
+
+bool TaskManager::schedule_one(int cpu) {
+  for (const topo::TopoNode* node : machine_.path_to_root(cpu)) {
+    ITaskQueue& queue = *queues_[static_cast<std::size_t>(node->id)];
+    Task* task = queue.try_dequeue();
+    if (task == nullptr) continue;
+    if (!cpu_allowed(*task, cpu)) {
+      queue.enqueue(task);
+      continue;
+    }
+    run_task(task, queue, cpu);
+    CoreStats& cs = *core_stats_[static_cast<std::size_t>(cpu)];
+    cs.tasks_run++;
+    return true;
+  }
+  return false;
+}
+
+void TaskManager::wait(Task& task, int cpu) {
+  sync::Backoff backoff;
+  while (!task.completed()) {
+    if (schedule(cpu) == 0) {
+      backoff.spin();
+    } else {
+      backoff.reset();
+    }
+  }
+}
+
+std::size_t TaskManager::pending_approx() const {
+  std::size_t total = urgent_queue_.size_approx();
+  for (const auto& q : queues_) total += q->size_approx();
+  return total;
+}
+
+CoreStats TaskManager::core_stats(int cpu) const {
+  return *core_stats_[static_cast<std::size_t>(cpu)];
+}
+
+void TaskManager::reset_stats() {
+  for (auto& cs : core_stats_) *cs = CoreStats{};
+  submissions_.store(0, std::memory_order_relaxed);
+}
+
+std::string TaskManager::dump() const {
+  std::ostringstream os;
+  os << "TaskManager(" << queue_kind_name(config_.queue_kind)
+     << ", double_check=" << (config_.double_check ? "on" : "off")
+     << ", hierarchy=" << (config_.single_global_queue ? "off" : "on") << ")\n";
+  for (const auto& nptr : machine_.nodes()) {
+    const ITaskQueue& q = *queues_[static_cast<std::size_t>(nptr->id)];
+    const QueueStats s = q.stats();
+    if (s.enqueues == 0 && q.size_approx() == 0) continue;
+    for (int i = 0; i < nptr->depth; ++i) os << "  ";
+    os << nptr->name() << ": pending=" << q.size_approx()
+       << " enq=" << s.enqueues << " deq=" << s.dequeues
+       << " empty_checks=" << s.empty_checks
+       << " locks=" << s.lock_acquisitions << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace piom

@@ -1,0 +1,138 @@
+// TaskManager — the heart of the paper (§III): one task queue per topology
+// node, submit() maps a task's CPU set to the smallest covering node, and
+// schedule() is Algorithm 1 — run the local Per-Core queue, then walk up
+// (per-cache / per-chip / per-NUMA) to the Global queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/task_queue.hpp"
+#include "sync/cache.hpp"
+#include "topo/machine.hpp"
+
+namespace piom {
+
+/// Which ITaskQueue implementation backs every queue of the hierarchy.
+enum class QueueKind {
+  kSpin,      ///< spinlock-protected FIFO (the paper's choice)
+  kTicket,    ///< ticket-lock FIFO (fair; ablation)
+  kMutex,     ///< std::mutex FIFO (ablation: context-switch risk)
+  kLockFree,  ///< Treiber LIFO (paper's future work; ablation)
+};
+
+[[nodiscard]] const char* queue_kind_name(QueueKind k);
+
+struct TaskManagerConfig {
+  QueueKind queue_kind = QueueKind::kSpin;
+  /// Algorithm 2's lock-avoiding emptiness pre-check (ablation switch).
+  bool double_check = true;
+  /// Count skipped-lock events in QueueStats::empty_checks. The counter is
+  /// an atomic RMW on the otherwise contention-free fast path; benchmarks
+  /// measuring that path should turn it off.
+  bool queue_stats = true;
+  /// Ablation: ignore the hierarchy and put every task in the Global queue
+  /// (the "naive solution" / big-lock strawman of §III).
+  bool single_global_queue = false;
+  /// Upper bound on tasks run per queue per schedule() pass; 0 = drain a
+  /// size snapshot (default). Prevents one core from being stuck forever in
+  /// a queue where repeatable tasks keep re-enqueueing themselves.
+  int max_tasks_per_pass = 0;
+};
+
+/// Per-core execution counters (the paper reports the distribution of task
+/// executions across cores for the per-chip and global queues).
+struct CoreStats {
+  uint64_t tasks_run = 0;
+  uint64_t schedule_calls = 0;
+};
+
+class TaskManager {
+ public:
+  /// The machine must outlive the manager.
+  explicit TaskManager(const topo::Machine& machine,
+                       TaskManagerConfig config = {});
+
+  TaskManager(const TaskManager&) = delete;
+  TaskManager& operator=(const TaskManager&) = delete;
+
+  /// Submit a task for execution. The task's cpuset selects the queue: the
+  /// smallest topology node covering it (empty set -> Global queue). The
+  /// caller keeps ownership of the Task storage; it must stay alive until
+  /// completed().
+  void submit(Task* task);
+
+  /// Algorithm 1, executed on behalf of core `cpu`: drain the Per-Core
+  /// queue, then each ancestor queue up to the Global queue. Repeatable
+  /// tasks that return kAgain are re-enqueued into the same queue.
+  /// Returns the number of task executions performed.
+  int schedule(int cpu);
+
+  /// schedule() bounded to queues at or above `max_depth_level` — the timer
+  /// hook uses this to service only the Global queue.
+  int schedule_from_level(int cpu, topo::Level shallowest);
+
+  /// Drain the urgent queue (kTaskUrgent tasks), ignoring CPU sets — the
+  /// whole point of a preemptive task is to run NOW, wherever. Returns the
+  /// number of tasks executed. Called by schedule() and by the IrqService.
+  int run_urgent(int cpu);
+
+  /// Install a callback fired (outside any lock) whenever an urgent task is
+  /// submitted; sched::IrqService uses it to wake its service thread.
+  void set_urgent_notifier(std::function<void()> notifier);
+
+  /// Urgent tasks currently queued (approximate).
+  [[nodiscard]] std::size_t urgent_pending_approx() const;
+
+  /// Run at most one task on behalf of `cpu`. Returns true if one ran.
+  bool schedule_one(int cpu);
+
+  /// Progressive wait (how blocking calls contribute): schedule on `cpu`
+  /// until `task` completes. Requires the task to be reachable from `cpu`
+  /// (its cpuset contains `cpu`, or contains cores serviced by others).
+  void wait(Task& task, int cpu);
+
+  /// Total tasks currently queued across the hierarchy (approximate).
+  [[nodiscard]] std::size_t pending_approx() const;
+
+  /// True when `cpu` may legally run `task` (cpuset check).
+  [[nodiscard]] static bool cpu_allowed(const Task& task, int cpu);
+
+  [[nodiscard]] const topo::Machine& machine() const { return machine_; }
+  [[nodiscard]] const TaskManagerConfig& config() const { return config_; }
+
+  /// Queue of a topology node (bench/tests introspection).
+  [[nodiscard]] ITaskQueue& queue_of(const topo::TopoNode& node);
+  [[nodiscard]] ITaskQueue& global_queue();
+
+  [[nodiscard]] CoreStats core_stats(int cpu) const;
+  void reset_stats();
+
+  /// Total submissions since construction/reset.
+  [[nodiscard]] uint64_t submissions() const {
+    return submissions_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable dump of queue occupancy and stats.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  int drain_queue(ITaskQueue& queue, int cpu);
+  /// Execute one task; re-enqueue on kAgain+kRepeat; returns kDone-or-not.
+  void run_task(Task* task, ITaskQueue& queue, int cpu);
+
+  const topo::Machine& machine_;
+  TaskManagerConfig config_;
+  std::vector<std::unique_ptr<ITaskQueue>> queues_;  // index = TopoNode::id
+  SpinTaskQueue urgent_queue_;
+  std::function<void()> urgent_notifier_;
+  std::vector<sync::CacheAligned<CoreStats>> core_stats_;
+  std::atomic<uint64_t> submissions_{0};
+};
+
+}  // namespace piom

@@ -1,0 +1,11 @@
+#include "core/task_queue.hpp"
+
+// Explicit instantiations keep one copy of each queue variant's code and act
+// as a compile check that every lock satisfies the Lockable surface.
+namespace piom {
+
+template class LockedTaskQueue<sync::SpinLock>;
+template class LockedTaskQueue<sync::TicketLock>;
+template class LockedTaskQueue<sync::MutexLock>;
+
+}  // namespace piom

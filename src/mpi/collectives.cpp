@@ -1,0 +1,87 @@
+// Collective operations for the two-rank world. All of them are built on
+// the point-to-point layer with tags in the reserved space, so they compose
+// with (and never collide with) application traffic.
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+namespace piom::mpi {
+
+namespace {
+// Reserved tag layout (per collective, per direction).
+constexpr Tag kBarrierTag0 = Comm::kReservedTagBase + 1;  // rank0 -> rank1
+constexpr Tag kBarrierTag1 = Comm::kReservedTagBase + 2;  // rank1 -> rank0
+constexpr Tag kBcastTag = Comm::kReservedTagBase + 3;
+constexpr Tag kAllreduceTag0 = Comm::kReservedTagBase + 4;
+constexpr Tag kAllreduceTag1 = Comm::kReservedTagBase + 5;
+}  // namespace
+
+Status Comm::recv_status(int src, Tag tag, void* buf, std::size_t cap) {
+  Request req;
+  irecv(req, src, tag, buf, cap);
+  wait(req);
+  Status st;
+  st.bytes = req.recv_req().received;
+  st.tag = req.recv_req().matched_tag;
+  return st;
+}
+
+void Comm::sendrecv(int peer, Tag send_tag, const void* send_buf,
+                    std::size_t send_len, Tag recv_tag, void* recv_buf,
+                    std::size_t recv_cap) {
+  Request sreq, rreq;
+  irecv(rreq, peer, recv_tag, recv_buf, recv_cap);
+  isend(sreq, peer, send_tag, send_buf, send_len);
+  wait(sreq);
+  wait(rreq);
+}
+
+void Comm::barrier() {
+  // Two-rank synchronisation: exchange zero-byte tokens in both directions.
+  const int peer = 1 - rank_;
+  const Tag out = (rank_ == 0) ? kBarrierTag0 : kBarrierTag1;
+  const Tag in = (rank_ == 0) ? kBarrierTag1 : kBarrierTag0;
+  sendrecv(peer, out, nullptr, 0, in, nullptr, 0);
+}
+
+void Comm::bcast(void* buf, std::size_t len, int root) {
+  if (root != 0 && root != 1) {
+    throw std::invalid_argument("Comm::bcast: bad root");
+  }
+  const int peer = 1 - rank_;
+  if (rank_ == root) {
+    send(peer, kBcastTag, buf, len);
+  } else {
+    recv(peer, kBcastTag, buf, len);
+  }
+}
+
+template <typename T>
+void Comm::allreduce(T* data, std::size_t count, ReduceOp op) {
+  static_assert(std::is_arithmetic_v<T>, "allreduce needs arithmetic T");
+  const int peer = 1 - rank_;
+  std::vector<T> remote(count);
+  const Tag out = (rank_ == 0) ? kAllreduceTag0 : kAllreduceTag1;
+  const Tag in = (rank_ == 0) ? kAllreduceTag1 : kAllreduceTag0;
+  sendrecv(peer, out, data, count * sizeof(T), in, remote.data(),
+           count * sizeof(T));
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (op) {
+      case ReduceOp::kSum: data[i] = data[i] + remote[i]; break;
+      case ReduceOp::kMax: data[i] = std::max(data[i], remote[i]); break;
+      case ReduceOp::kMin: data[i] = std::min(data[i], remote[i]); break;
+    }
+  }
+}
+
+// The instantiations the library ships (add more as needed).
+template void Comm::allreduce<int32_t>(int32_t*, std::size_t, ReduceOp);
+template void Comm::allreduce<int64_t>(int64_t*, std::size_t, ReduceOp);
+template void Comm::allreduce<uint64_t>(uint64_t*, std::size_t, ReduceOp);
+template void Comm::allreduce<float>(float*, std::size_t, ReduceOp);
+template void Comm::allreduce<double>(double*, std::size_t, ReduceOp);
+
+}  // namespace piom::mpi

@@ -1,0 +1,38 @@
+// Progress-engine interface behind the mini-MPI API. The three
+// implementations reproduce the paper's §V contenders:
+//   * PiomanEngine      — MAD-MPI: nmad + PIOMan background progression;
+//   * GlobalLockEngine  — MVAPICH-like / OpenMPI-like: one big lock,
+//                         progress happens only inside MPI calls.
+// All engines speak the same nmad protocol over the same simulated fabric;
+// the only difference is *when and where* the protocol code runs — which is
+// precisely the paper's point.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mpi/request.hpp"
+#include "nmad/gate.hpp"
+
+namespace piom::mpi {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual void isend(Request& req, nmad::Gate& gate, Tag tag, const void* buf,
+                     std::size_t len) = 0;
+  virtual void irecv(Request& req, nmad::Gate& gate, Tag tag, void* buf,
+                     std::size_t cap) = 0;
+  /// Block until `req` completes.
+  virtual void wait(Request& req) = 0;
+  /// Nonblocking completion check (may drive progress, like MPI_Test).
+  virtual bool test(Request& req) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Stop background machinery (idempotent; called before teardown).
+  virtual void shutdown() {}
+};
+
+}  // namespace piom::mpi

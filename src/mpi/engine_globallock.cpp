@@ -1,0 +1,55 @@
+#include "mpi/engine_globallock.hpp"
+
+#include <thread>
+
+namespace piom::mpi {
+
+GlobalLockEngine::GlobalLockEngine(nmad::Session& session,
+                                   GlobalLockEngineConfig config)
+    : session_(session), config_(std::move(config)) {}
+
+void GlobalLockEngine::locked_progress() {
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(big_lock_);
+  session_.progress();
+}
+
+void GlobalLockEngine::isend(Request& req, nmad::Gate& gate, Tag tag,
+                             const void* buf, std::size_t len) {
+  req.arm(/*is_send=*/true);
+  {
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(big_lock_);
+    // Inline submission: the caller's CPU does the packing and posting.
+    gate.isend(req.send_req(), tag, buf, len, /*defer=*/false);
+    session_.progress();
+  }
+}
+
+void GlobalLockEngine::irecv(Request& req, nmad::Gate& gate, Tag tag,
+                             void* buf, std::size_t cap) {
+  req.arm(/*is_send=*/false);
+  {
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(big_lock_);
+    gate.irecv(req.recv_req(), tag, buf, cap);
+    session_.progress();
+  }
+}
+
+void GlobalLockEngine::wait(Request& req) {
+  nmad::RequestCore& core = req.req_core();
+  // Caller-driven progress: every blocked thread hammers the big lock.
+  while (!core.completed()) {
+    locked_progress();
+    if (config_.yield_in_wait) std::this_thread::yield();
+  }
+}
+
+bool GlobalLockEngine::test(Request& req) {
+  if (req.done()) return true;
+  locked_progress();
+  return req.done();
+}
+
+}  // namespace piom::mpi

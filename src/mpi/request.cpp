@@ -1,0 +1,8 @@
+#include "mpi/request.hpp"
+
+// Request is header-only today; the TU anchors the object file and hosts a
+// layout sanity check (a Request must stay trivially embeddable in arrays
+// used by the latency benchmarks).
+namespace piom::mpi {
+static_assert(!std::is_copy_constructible_v<Request>);
+}  // namespace piom::mpi

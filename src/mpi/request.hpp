@@ -1,0 +1,47 @@
+// mini_mpi::Request — the handle returned by nonblocking operations
+// (MPI_Request equivalent). It embeds both nmad request flavours so that a
+// Request is plain storage: no allocation on isend/irecv, mirroring the
+// paper's no-allocation task path.
+#pragma once
+
+#include "nmad/request.hpp"
+
+namespace piom::mpi {
+
+using Tag = nmad::Tag;
+
+class Request {
+ public:
+  Request() = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True once the operation has completed (stable afterwards).
+  [[nodiscard]] bool done() const {
+    return active_ && (is_send_ ? send_.completed() : recv_.completed());
+  }
+
+  /// True when the request currently carries an operation.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Bytes delivered by a completed receive.
+  [[nodiscard]] std::size_t received() const { return recv_.received; }
+
+  // -- engine-internal access --
+  nmad::SendRequest& send_req() { return send_; }
+  nmad::RecvRequest& recv_req() { return recv_; }
+  nmad::RequestCore& req_core() { return is_send_ ? send_.core : recv_.core; }
+  void arm(bool is_send) {
+    is_send_ = is_send;
+    active_ = true;
+  }
+  [[nodiscard]] bool is_send() const { return is_send_; }
+
+ private:
+  nmad::SendRequest send_;
+  nmad::RecvRequest recv_;
+  bool is_send_ = false;
+  bool active_ = false;
+};
+
+}  // namespace piom::mpi

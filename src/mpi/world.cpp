@@ -1,0 +1,110 @@
+#include "mpi/world.hpp"
+
+#include <stdexcept>
+
+#include "mpi/engine_globallock.hpp"
+
+namespace piom::mpi {
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kPioman: return "pioman";
+    case EngineKind::kMvapichLike: return "mvapich-like";
+    case EngineKind::kOpenMpiLike: return "openmpi-like";
+  }
+  return "?";
+}
+
+World::World(WorldConfig config) : config_(config) {
+  if (config_.rails < 1) throw std::invalid_argument("World: rails >= 1");
+  fabric_ = std::make_unique<simnet::Fabric>(config_.time_scale);
+  std::vector<simnet::Nic*> rails0;
+  std::vector<simnet::Nic*> rails1;
+  for (int r = 0; r < config_.rails; ++r) {
+    auto [a, b] = fabric_->create_link("rail" + std::to_string(r), config_.link);
+    rails0.push_back(a);
+    rails1.push_back(b);
+  }
+  sessions_[0] = std::make_unique<nmad::Session>("rank0", config_.session);
+  sessions_[1] = std::make_unique<nmad::Session>("rank1", config_.session);
+  nmad::Gate& gate0 = sessions_[0]->create_gate(rails0);
+  nmad::Gate& gate1 = sessions_[1]->create_gate(rails1);
+
+  for (int rank = 0; rank < 2; ++rank) {
+    switch (config_.engine) {
+      case EngineKind::kPioman: {
+        auto engine = std::make_unique<PiomanEngine>(*sessions_[rank],
+                                                     config_.pioman);
+        engine->start_progress();
+        engines_[rank] = std::move(engine);
+        break;
+      }
+      case EngineKind::kMvapichLike: {
+        GlobalLockEngineConfig glc;
+        glc.label = "mvapich-like";
+        glc.yield_in_wait = false;
+        engines_[rank] =
+            std::make_unique<GlobalLockEngine>(*sessions_[rank], glc);
+        break;
+      }
+      case EngineKind::kOpenMpiLike: {
+        GlobalLockEngineConfig glc;
+        glc.label = "openmpi-like";
+        glc.yield_in_wait = true;
+        engines_[rank] =
+            std::make_unique<GlobalLockEngine>(*sessions_[rank], glc);
+        break;
+      }
+    }
+  }
+  comms_[0].reset(new Comm(0, engines_[0].get(), &gate0));
+  comms_[1].reset(new Comm(1, engines_[1].get(), &gate1));
+}
+
+World::~World() { shutdown(); }
+
+void World::shutdown() {
+  for (auto& engine : engines_) {
+    if (engine) engine->shutdown();
+  }
+}
+
+Comm& World::comm(int rank) {
+  if (rank < 0 || rank > 1) throw std::out_of_range("World::comm: rank");
+  return *comms_[rank];
+}
+
+Engine& World::engine(int rank) {
+  if (rank < 0 || rank > 1) throw std::out_of_range("World::engine: rank");
+  return *engines_[rank];
+}
+
+nmad::Session& World::session(int rank) {
+  if (rank < 0 || rank > 1) throw std::out_of_range("World::session: rank");
+  return *sessions_[rank];
+}
+
+void Comm::isend(Request& req, int dst, Tag tag, const void* buf,
+                 std::size_t len) {
+  if (dst != 1 - rank_) throw std::invalid_argument("Comm::isend: bad dst");
+  engine_->isend(req, *gate_, tag, buf, len);
+}
+
+void Comm::irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap) {
+  if (src != 1 - rank_) throw std::invalid_argument("Comm::irecv: bad src");
+  engine_->irecv(req, *gate_, tag, buf, cap);
+}
+
+void Comm::send(int dst, Tag tag, const void* buf, std::size_t len) {
+  Request req;
+  isend(req, dst, tag, buf, len);
+  wait(req);
+}
+
+void Comm::recv(int src, Tag tag, void* buf, std::size_t cap) {
+  Request req;
+  irecv(req, src, tag, buf, cap);
+  wait(req);
+}
+
+}  // namespace piom::mpi

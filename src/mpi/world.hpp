@@ -1,0 +1,135 @@
+// World: a two-rank mini-MPI universe in one process — two "cluster nodes"
+// (sessions + engines) wired through the simulated fabric. This is the
+// entry point benchmarks and examples use:
+//
+//   mpi::WorldConfig cfg;
+//   cfg.engine = mpi::EngineKind::kPioman;
+//   mpi::World world(cfg);
+//   world.comm(0).send(1, /*tag=*/7, data, len);
+//   world.comm(1).recv(0, 7, buf, len);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mpi/engine.hpp"
+#include "mpi/engine_pioman.hpp"
+#include "nmad/session.hpp"
+#include "simnet/fabric.hpp"
+
+namespace piom::mpi {
+
+enum class EngineKind {
+  kPioman,       ///< MAD-MPI: nmad + PIOMan background progression
+  kMvapichLike,  ///< global lock, caller-driven progress, hard spin
+  kOpenMpiLike,  ///< global lock, caller-driven progress, yielding spin
+};
+
+[[nodiscard]] const char* engine_kind_name(EngineKind k);
+
+struct WorldConfig {
+  EngineKind engine = EngineKind::kPioman;
+  /// Number of rails (NIC pairs) between the two nodes.
+  int rails = 1;
+  simnet::LinkModel link{};
+  /// Multiplies every modelled network delay.
+  double time_scale = 1.0;
+  nmad::SessionConfig session{};
+  /// PIOMan node configuration (ignored by the baseline engines).
+  PiomanEngineConfig pioman{};
+};
+
+class Comm;
+
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Communicator of `rank` (0 or 1).
+  [[nodiscard]] Comm& comm(int rank);
+
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+  [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] Engine& engine(int rank);
+  [[nodiscard]] nmad::Session& session(int rank);
+
+  /// Stop background machinery of both ranks (idempotent; dtor calls it).
+  void shutdown();
+
+ private:
+  WorldConfig config_;
+  std::unique_ptr<simnet::Fabric> fabric_;
+  std::unique_ptr<nmad::Session> sessions_[2];
+  std::unique_ptr<Engine> engines_[2];
+  std::unique_ptr<Comm> comms_[2];
+};
+
+/// Completion information for a receive (MPI_Status equivalent).
+struct Status {
+  Tag tag = 0;            ///< actual tag (useful with kAnyTag)
+  std::size_t bytes = 0;  ///< payload bytes delivered
+};
+
+/// Reduction operators for allreduce().
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Per-rank MPI-like interface. Two ranks, reliable, tag-matched.
+/// Tags >= kReservedTagBase are reserved for the collectives.
+class Comm {
+ public:
+  /// Wildcard receive tag (MPI_ANY_TAG).
+  static constexpr Tag kAnyTag = nmad::kAnyTag;
+  /// First tag reserved for internal (collective) traffic.
+  static constexpr Tag kReservedTagBase = 0xffff0000u;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return 2; }
+
+  void isend(Request& req, int dst, Tag tag, const void* buf, std::size_t len);
+  void irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap);
+  void wait(Request& req) { engine_->wait(req); }
+  [[nodiscard]] bool test(Request& req) { return engine_->test(req); }
+
+  /// Blocking convenience wrappers (isend/irecv + wait).
+  void send(int dst, Tag tag, const void* buf, std::size_t len);
+  void recv(int src, Tag tag, void* buf, std::size_t cap);
+  /// Blocking receive reporting the matched tag/size (use with kAnyTag).
+  Status recv_status(int src, Tag tag, void* buf, std::size_t cap);
+
+  /// Simultaneous send and receive (MPI_Sendrecv): both directions overlap,
+  /// deadlock-free even when both ranks call it at once.
+  void sendrecv(int peer, Tag send_tag, const void* send_buf,
+                std::size_t send_len, Tag recv_tag, void* recv_buf,
+                std::size_t recv_cap);
+
+  // ---- collectives (both ranks must call; internally use reserved tags) --
+
+  /// Synchronize both ranks.
+  void barrier();
+
+  /// Broadcast `len` bytes from `root` to the other rank.
+  void bcast(void* buf, std::size_t len, int root);
+
+  /// Element-wise reduction across both ranks; every rank ends up with the
+  /// combined result. T must be an arithmetic type.
+  template <typename T>
+  void allreduce(T* data, std::size_t count, ReduceOp op);
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] nmad::Gate& gate() { return *gate_; }
+
+ private:
+  friend class World;
+  Comm(int rank, Engine* engine, nmad::Gate* gate)
+      : rank_(rank), engine_(engine), gate_(gate) {}
+
+  int rank_;
+  Engine* engine_;
+  nmad::Gate* gate_;
+};
+
+}  // namespace piom::mpi

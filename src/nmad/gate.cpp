@@ -1,0 +1,583 @@
+#include "nmad/gate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "nmad/session.hpp"
+#include "util/log.hpp"
+#include "util/timing.hpp"
+
+namespace piom::nmad {
+
+Gate::Gate(Session& session, std::vector<simnet::Nic*> rails)
+    : session_(session) {
+  const int bufs = session_.config().pool_bufs_per_rail;
+  for (std::size_t i = 0; i < rails.size(); ++i) {
+    RailState& r = rails_.emplace_back();
+    r.nic = rails[i];
+    r.index = static_cast<int>(i);
+    for (int b = 0; b < bufs; ++b) {
+      r.pool.push_back(PoolBuf{this, r.index, std::vector<uint8_t>(kPoolBufSize)});
+    }
+    // deque iterators/references are stable under no further insertion:
+    // post every pool buffer now and recycle them forever after.
+    for (PoolBuf& pb : r.pool) {
+      r.nic->post_recv(pb.data.data(), pb.data.size(),
+                       reinterpret_cast<uint64_t>(&pb));
+    }
+  }
+}
+
+Gate::~Gate() {
+  // Teardown protocol: wait until the hardware is quiet on both ends of
+  // every rail, then drain the completion queues so in-flight packet
+  // wrappers are reclaimed. Requests still incomplete at this point are
+  // abandoned (their owner is responsible for waiting before teardown) —
+  // we deliberately do NOT touch them, they may already be destroyed.
+  for (RailState& rail : rails_) {
+    rail.nic->quiesce();
+    if (rail.nic->peer() != nullptr) rail.nic->peer()->quiesce();
+  }
+  simnet::Completion c;
+  for (RailState& rail : rails_) {
+    while (rail.nic->poll_tx(c)) {
+      if (c.kind == simnet::Completion::Kind::kSend) {
+        auto* pw = reinterpret_cast<PacketWrapper*>(c.wrid);
+        // Unacknowledged reliable packets are reclaimed from unacked_
+        // below — don't double-release them here.
+        if (!pw->awaiting_ack) pw_pool_.release(pw);
+      }
+    }
+    while (rail.nic->poll_rx(c)) {
+      // Discard: the arrival sits in our (still-alive) pool buffer.
+    }
+  }
+  for (PacketWrapper* pw : unacked_) pw_pool_.release(pw);
+  unacked_.clear();
+}
+
+// ---------------------------------------------------------------- send path
+
+void Gate::isend(SendRequest& req, Tag tag, const void* buf, std::size_t len,
+                 bool defer) {
+  req.gate = this;
+  req.tag = tag;
+  req.buf = buf;
+  req.len = len;
+  req.next = nullptr;
+  req.rdv = len > session_.config().eager_threshold;
+  req.core.reset();
+  req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  lock_.lock();
+  if (pending_tail_ != nullptr) {
+    pending_tail_->next = &req;
+    pending_tail_ = &req;
+  } else {
+    pending_head_ = pending_tail_ = &req;
+  }
+  ++pending_count_;
+  lock_.unlock();
+  if (!defer) submit_pending();
+}
+
+void Gate::flush() { submit_pending(); }
+
+void Gate::submit_pending() {
+  // The strategy layer: drain the pending FIFO, turning requests into wire
+  // packets — one per eager message, one RTS per rendezvous, or one kPack
+  // covering a run of small messages when aggregation is enabled.
+  Strategy& strategy = session_.strategy();
+  for (;;) {
+    lock_.lock();
+    SendRequest* first = pending_head_;
+    if (first == nullptr) {
+      lock_.unlock();
+      return;
+    }
+    // Pop the head.
+    pending_head_ = first->next;
+    if (pending_head_ == nullptr) pending_tail_ = nullptr;
+    --pending_count_;
+
+    if (first->rdv) {
+      rdv_waiting_fin_.push_back(first);
+      stats_.rdv_sent++;
+      lock_.unlock();
+      PacketWrapper* pw = pw_pool_.acquire();
+      PktHeader hdr;
+      hdr.kind = static_cast<uint8_t>(PktKind::kRts);
+      hdr.tag = first->tag;
+      hdr.seq = first->seq;
+      hdr.len = first->len;
+      hdr.raddr = reinterpret_cast<uint64_t>(first->buf);
+      pw->begin(hdr);
+      // RTS is control traffic: rail 0 keeps the handshake ordered.
+      post_pw(pw, 0);
+      continue;
+    }
+
+    // Gather a batch of eager messages for aggregation (stop at the first
+    // rendezvous request to keep the FIFO order of RTS vs eager simple).
+    std::vector<SendRequest*> batch{first};
+    std::size_t body_bytes = sizeof(PackEntry) + first->len;
+    if (strategy.config().aggregation) {
+      while (pending_head_ != nullptr && !pending_head_->rdv &&
+             static_cast<int>(batch.size()) < strategy.config().max_pack_msgs &&
+             body_bytes + sizeof(PackEntry) + pending_head_->len <=
+                 strategy.config().max_pack_bytes) {
+        SendRequest* next = pending_head_;
+        pending_head_ = next->next;
+        if (pending_head_ == nullptr) pending_tail_ = nullptr;
+        --pending_count_;
+        body_bytes += sizeof(PackEntry) + next->len;
+        batch.push_back(next);
+      }
+    }
+    if (batch.size() >= 2) {
+      stats_.packs_sent++;
+      stats_.msgs_packed += batch.size();
+      stats_.eager_sent += batch.size();
+    } else {
+      stats_.eager_sent++;
+    }
+    lock_.unlock();
+
+    // Serialize outside the lock: payload buffers are caller-owned and
+    // stable until completion.
+    PacketWrapper* pw = pw_pool_.acquire();
+    if (batch.size() == 1) {
+      PktHeader hdr;
+      hdr.kind = static_cast<uint8_t>(PktKind::kEager);
+      hdr.tag = first->tag;
+      hdr.seq = first->seq;
+      hdr.len = first->len;
+      pw->begin(hdr);
+      pw->append(first->buf, first->len);
+      pw->reqs.push_back(first);
+    } else {
+      PktHeader hdr;
+      hdr.kind = static_cast<uint8_t>(PktKind::kPack);
+      hdr.nmsgs = static_cast<uint16_t>(batch.size());
+      hdr.seq = first->seq;
+      pw->begin(hdr);
+      for (SendRequest* req : batch) {
+        PackEntry entry;
+        entry.tag = req->tag;
+        entry.seq = req->seq;
+        entry.len = req->len;
+        pw->append(&entry, sizeof(entry));
+        pw->append(req->buf, req->len);
+        pw->reqs.push_back(req);
+      }
+      pw->header().len = pw->wire.size() - sizeof(PktHeader);
+    }
+    post_pw(pw, strategy.select_eager_rail(nrails()));
+  }
+}
+
+void Gate::post_pw(PacketWrapper* pw, int rail_index) {
+  pw->gate = this;
+  pw->rail = rail_index;
+  const bool reliable = session_.config().reliable;
+  lock_.lock();
+  pw->pkt_seq = next_pkt_seq_++;
+  pw->header().pkt_seq = pw->pkt_seq;
+  const bool track =
+      reliable &&
+      static_cast<PktKind>(pw->header().kind) != PktKind::kAck;
+  if (track) {
+    // Register BEFORE posting: the ack may arrive arbitrarily fast.
+    pw->awaiting_ack = true;
+    pw->in_flight = true;
+    pw->acked = false;
+    pw->last_post_ns = util::now_ns();
+    unacked_.push_back(pw);
+  }
+  lock_.unlock();
+  rails_[static_cast<std::size_t>(rail_index)].nic->post_send(
+      pw->wire.data(), pw->wire.size(), reinterpret_cast<uint64_t>(pw));
+}
+
+bool Gate::dedup_mark(uint64_t pkt_seq) {
+  if (pkt_seq <= dedup_floor_) return false;
+  if (!dedup_sparse_.insert(pkt_seq).second) return false;
+  // Compact: slide the floor over contiguously-seen sequence numbers.
+  while (dedup_sparse_.erase(dedup_floor_ + 1) != 0) ++dedup_floor_;
+  return true;
+}
+
+void Gate::send_ack(uint64_t pkt_seq) {
+  PacketWrapper* pw = pw_pool_.acquire();
+  PktHeader hdr;
+  hdr.kind = static_cast<uint8_t>(PktKind::kAck);
+  hdr.seq = pkt_seq;  // the acknowledged wire packet
+  pw->begin(hdr);
+  post_pw(pw, 0);
+  lock_.lock();
+  stats_.acks_sent++;
+  lock_.unlock();
+}
+
+void Gate::finalize_reliable_pw(PacketWrapper* pw) {
+  for (SendRequest* req : pw->reqs) req->core.complete();
+  pw_pool_.release(pw);
+}
+
+void Gate::handle_ack(const PktHeader& hdr) {
+  PacketWrapper* to_finalize = nullptr;
+  lock_.lock();
+  for (auto it = unacked_.begin(); it != unacked_.end(); ++it) {
+    if ((*it)->pkt_seq == hdr.seq) {
+      PacketWrapper* pw = *it;
+      pw->acked = true;
+      if (!pw->in_flight) {
+        unacked_.erase(it);
+        to_finalize = pw;
+      }
+      break;
+    }
+  }
+  lock_.unlock();
+  if (to_finalize != nullptr) finalize_reliable_pw(to_finalize);
+}
+
+void Gate::check_retransmits() {
+  if (!session_.config().reliable) return;
+  const int64_t now = util::now_ns();
+  const auto rto_ns = static_cast<int64_t>(session_.config().rto_us * 1e3);
+  std::vector<PacketWrapper*> to_repost;
+  lock_.lock();
+  for (PacketWrapper* pw : unacked_) {
+    if (!pw->in_flight && !pw->acked && now - pw->last_post_ns > rto_ns) {
+      pw->in_flight = true;
+      pw->last_post_ns = now;
+      stats_.retransmits++;
+      to_repost.push_back(pw);
+    }
+  }
+  lock_.unlock();
+  for (PacketWrapper* pw : to_repost) {
+    rails_[static_cast<std::size_t>(pw->rail)].nic->post_send(
+        pw->wire.data(), pw->wire.size(), reinterpret_cast<uint64_t>(pw));
+  }
+}
+
+// ---------------------------------------------------------------- recv path
+
+void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
+  req.gate = this;
+  req.tag = tag;
+  req.buf = buf;
+  req.cap = cap;
+  req.received = 0;
+  req.matched_seq = 0;
+  req.core.reset();
+
+  lock_.lock();
+  // Match the lowest-sequence unexpected arrival for this tag, across both
+  // the eager and the rendezvous unexpected lists.
+  auto eager_it = unex_eager_.end();
+  for (auto it = unex_eager_.begin(); it != unex_eager_.end(); ++it) {
+    if ((tag == kAnyTag || it->tag == tag) &&
+        (eager_it == unex_eager_.end() || it->seq < eager_it->seq)) {
+      eager_it = it;
+    }
+  }
+  auto rts_it = unex_rts_.end();
+  for (auto it = unex_rts_.begin(); it != unex_rts_.end(); ++it) {
+    if ((tag == kAnyTag || it->tag == tag) &&
+        (rts_it == unex_rts_.end() || it->seq < rts_it->seq)) {
+      rts_it = it;
+    }
+  }
+  const bool have_eager = eager_it != unex_eager_.end();
+  const bool have_rts = rts_it != unex_rts_.end();
+  if (have_eager && (!have_rts || eager_it->seq < rts_it->seq)) {
+    UnexEager arrival = std::move(*eager_it);
+    unex_eager_.erase(eager_it);
+    lock_.unlock();
+    deliver_eager(req, arrival.data.data(), arrival.data.size(), arrival.seq,
+                  arrival.tag);
+    return;
+  }
+  if (have_rts) {
+    const UnexRts rts = *rts_it;
+    unex_rts_.erase(rts_it);
+    stats_.rdv_recv++;
+    lock_.unlock();
+    start_pull(req, rts);
+    return;
+  }
+  expected_.push_back(&req);
+  lock_.unlock();
+}
+
+void Gate::deliver_eager(RecvRequest& req, const uint8_t* payload,
+                         std::size_t len, uint64_t seq, Tag tag) {
+  const std::size_t n = std::min(req.cap, len);
+  if (n > 0) std::memcpy(req.buf, payload, n);
+  req.received = n;
+  req.matched_seq = seq;
+  req.matched_tag = tag;
+  req.core.complete();
+}
+
+// -------------------------------------------------------------- progression
+
+int Gate::progress() {
+  submit_pending();
+  int events = 0;
+  for (int r = 0; r < nrails(); ++r) events += poll_rail(r);
+  check_retransmits();
+  return events;
+}
+
+int Gate::poll_rail(int rail_index) {
+  RailState& rail = rails_[static_cast<std::size_t>(rail_index)];
+  // Two pollers on the same rail would only duplicate work; skip instead of
+  // queueing (other rails / other gates remain pollable concurrently).
+  if (!rail.poll_lock.try_lock()) return 0;
+  int events = 0;
+  simnet::Completion c;
+  while (rail.nic->poll_rx(c)) {
+    auto* pb = reinterpret_cast<PoolBuf*>(c.wrid);
+    handle_wire(pb->data.data(), c.bytes, rail_index);
+    // Recycle the pool buffer immediately (the wire data was consumed).
+    rail.nic->post_recv(pb->data.data(), pb->data.size(),
+                        reinterpret_cast<uint64_t>(pb));
+    ++events;
+  }
+  while (rail.nic->poll_tx(c)) {
+    handle_tx_completion(c);
+    ++events;
+  }
+  rail.poll_lock.unlock();
+  return events;
+}
+
+void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
+  (void)rail_index;
+  assert(len >= sizeof(PktHeader));
+  PktHeader hdr;
+  std::memcpy(&hdr, data, sizeof(hdr));
+  const uint8_t* body = data + sizeof(PktHeader);
+  if (session_.config().reliable &&
+      static_cast<PktKind>(hdr.kind) != PktKind::kAck) {
+    lock_.lock();
+    const bool fresh = dedup_mark(hdr.pkt_seq);
+    if (!fresh) stats_.duplicates_dropped++;
+    lock_.unlock();
+    // Always (re-)acknowledge: the sender may have missed the first ack.
+    send_ack(hdr.pkt_seq);
+    if (!fresh) return;
+  }
+  switch (static_cast<PktKind>(hdr.kind)) {
+    case PktKind::kEager:
+      handle_eager(hdr, body);
+      break;
+    case PktKind::kPack:
+      handle_pack(hdr, body, static_cast<std::size_t>(hdr.len));
+      break;
+    case PktKind::kRts:
+      handle_rts(hdr);
+      break;
+    case PktKind::kFin:
+      handle_fin(hdr);
+      break;
+    case PktKind::kAck:
+      handle_ack(hdr);
+      break;
+    default: {
+      PIOM_LOG_ERROR(
+          "gate: dropping packet with corrupt header (kind=%u len=%zu "
+          "tag=%u seq=%llu)",
+          hdr.kind, len, hdr.tag, static_cast<unsigned long long>(hdr.seq));
+      if (util::log_enabled(util::LogLevel::kError)) {
+        char dump[200];
+        int off = 0;
+        for (std::size_t i = 0; i < 48 && i < len; ++i) {
+          off += std::snprintf(dump + off, sizeof(dump) - off, "%02x ", data[i]);
+        }
+        PIOM_LOG_ERROR("gate: corrupt packet head: %s", dump);
+      }
+      break;
+    }
+  }
+}
+
+void Gate::handle_eager(const PktHeader& hdr, const uint8_t* payload) {
+  lock_.lock();
+  stats_.eager_recv++;
+  for (auto it = expected_.begin(); it != expected_.end(); ++it) {
+    if ((*it)->tag == hdr.tag || (*it)->tag == kAnyTag) {
+      RecvRequest* req = *it;
+      expected_.erase(it);
+      lock_.unlock();
+      deliver_eager(*req, payload, static_cast<std::size_t>(hdr.len), hdr.seq,
+                    hdr.tag);
+      return;
+    }
+  }
+  // Unexpected: keep a copy (the pool buffer is recycled right after us).
+  UnexEager arrival;
+  arrival.tag = hdr.tag;
+  arrival.seq = hdr.seq;
+  arrival.data.assign(payload, payload + hdr.len);
+  unex_eager_.push_back(std::move(arrival));
+  stats_.unexpected_eager++;
+  lock_.unlock();
+}
+
+void Gate::handle_pack(const PktHeader& hdr, const uint8_t* body,
+                       std::size_t len) {
+  const uint8_t* p = body;
+  const uint8_t* end = body + len;
+  for (uint16_t i = 0; i < hdr.nmsgs; ++i) {
+    assert(p + sizeof(PackEntry) <= end);
+    PackEntry entry;
+    std::memcpy(&entry, p, sizeof(entry));
+    p += sizeof(entry);
+    assert(p + entry.len <= end);
+    PktHeader sub;
+    sub.kind = static_cast<uint8_t>(PktKind::kEager);
+    sub.tag = entry.tag;
+    sub.seq = entry.seq;
+    sub.len = entry.len;
+    handle_eager(sub, p);
+    p += entry.len;
+  }
+  (void)end;
+}
+
+void Gate::handle_rts(const PktHeader& hdr) {
+  UnexRts rts;
+  rts.tag = hdr.tag;
+  rts.seq = hdr.seq;
+  rts.len = hdr.len;
+  rts.raddr = hdr.raddr;
+  lock_.lock();
+  for (auto it = expected_.begin(); it != expected_.end(); ++it) {
+    if ((*it)->tag == hdr.tag || (*it)->tag == kAnyTag) {
+      RecvRequest* req = *it;
+      expected_.erase(it);
+      stats_.rdv_recv++;
+      lock_.unlock();
+      start_pull(*req, rts);
+      return;
+    }
+  }
+  unex_rts_.push_back(rts);
+  stats_.unexpected_rts++;
+  lock_.unlock();
+}
+
+void Gate::handle_fin(const PktHeader& hdr) {
+  lock_.lock();
+  for (auto it = rdv_waiting_fin_.begin(); it != rdv_waiting_fin_.end(); ++it) {
+    if ((*it)->tag == hdr.tag && (*it)->seq == hdr.seq) {
+      SendRequest* req = *it;
+      rdv_waiting_fin_.erase(it);
+      lock_.unlock();
+      req->core.complete();
+      return;
+    }
+  }
+  lock_.unlock();
+  PIOM_LOG_WARN("gate: FIN for unknown rendezvous (tag=%u seq=%llu)", hdr.tag,
+                static_cast<unsigned long long>(hdr.seq));
+}
+
+void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {
+  req.matched_seq = rts.seq;
+  req.matched_tag = rts.tag;
+  const std::size_t n = std::min(req.cap, static_cast<std::size_t>(rts.len));
+  req.received = n;
+  std::vector<double> bandwidths;
+  bandwidths.reserve(rails_.size());
+  for (const RailState& r : rails_) {
+    bandwidths.push_back(r.nic->link().bandwidth_GBps);
+  }
+  const std::vector<StripeChunk> chunks =
+      session_.strategy().stripe(n, bandwidths);
+  req.pull.req = &req;
+  req.pull.tag = rts.tag;
+  req.pull.seq = rts.seq;
+  req.pull.chunks_remaining.store(static_cast<int>(chunks.size()),
+                                  std::memory_order_release);
+  auto* base = reinterpret_cast<const uint8_t*>(rts.raddr);
+  for (const StripeChunk& chunk : chunks) {
+    rails_[static_cast<std::size_t>(chunk.rail)].nic->post_rdma_read(
+        static_cast<uint8_t*>(req.buf) + chunk.offset, base + chunk.offset,
+        chunk.len, reinterpret_cast<uint64_t>(&req.pull));
+  }
+}
+
+void Gate::finish_pull(RdvPull& pull) {
+  // All chunks have landed: notify the sender, then complete the receive.
+  PacketWrapper* pw = pw_pool_.acquire();
+  PktHeader hdr;
+  hdr.kind = static_cast<uint8_t>(PktKind::kFin);
+  hdr.tag = pull.tag;
+  hdr.seq = pull.seq;
+  pw->begin(hdr);
+  post_pw(pw, 0);
+  pull.req->core.complete();
+}
+
+void Gate::handle_tx_completion(const simnet::Completion& c) {
+  switch (c.kind) {
+    case simnet::Completion::Kind::kSend: {
+      auto* pw = reinterpret_cast<PacketWrapper*>(c.wrid);
+      if (pw->awaiting_ack) {
+        // Reliable path: completion means "on the wire", not "delivered".
+        PacketWrapper* to_finalize = nullptr;
+        lock_.lock();
+        pw->in_flight = false;
+        if (pw->acked) {
+          for (auto it = unacked_.begin(); it != unacked_.end(); ++it) {
+            if (*it == pw) {
+              unacked_.erase(it);
+              break;
+            }
+          }
+          to_finalize = pw;
+        }
+        lock_.unlock();
+        if (to_finalize != nullptr) finalize_reliable_pw(to_finalize);
+        break;
+      }
+      for (SendRequest* req : pw->reqs) req->core.complete();
+      pw_pool_.release(pw);
+      break;
+    }
+    case simnet::Completion::Kind::kRdmaRead: {
+      auto* pull = reinterpret_cast<RdvPull*>(c.wrid);
+      if (pull->chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        finish_pull(*pull);
+      }
+      break;
+    }
+    case simnet::Completion::Kind::kRecv:
+      assert(false && "recv completions are handled in poll_rx loop");
+      break;
+  }
+}
+
+// -------------------------------------------------------------------- stats
+
+GateStats Gate::stats() const {
+  lock_.lock();
+  const GateStats s = stats_;
+  lock_.unlock();
+  return s;
+}
+
+std::size_t Gate::pending_sends() const {
+  lock_.lock();
+  const std::size_t n = pending_count_;
+  lock_.unlock();
+  return n;
+}
+
+}  // namespace piom::nmad

@@ -1,0 +1,180 @@
+// Gate: the per-peer connection object (NewMadeleine terminology). It owns
+// the rails (NICs) towards one peer, the tag-matching state, the pending
+// send queue the strategies operate on, and the rendezvous bookkeeping.
+//
+// Thread-safety is fine-grained (paper §IV-B: "The combination of PIOMan
+// tasks and NewMadeleine fine-grain locking permits to process communication
+// operations in parallel"): one spinlock per gate protects matching/pending
+// state for *short* critical sections; NIC post/poll calls are outside the
+// lock, so several rails can be polled concurrently and a poll can run
+// concurrently with a submission.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "nmad/packet.hpp"
+#include "nmad/request.hpp"
+#include "nmad/strategy.hpp"
+#include "nmad/types.hpp"
+#include "simnet/nic.hpp"
+#include "sync/spinlock.hpp"
+
+namespace piom::nmad {
+
+class Session;
+
+/// Gate-level counters (tests + Fig-1 bench).
+struct GateStats {
+  uint64_t eager_sent = 0;
+  uint64_t eager_recv = 0;
+  uint64_t packs_sent = 0;        ///< aggregated wire packets
+  uint64_t msgs_packed = 0;       ///< messages shipped inside packs
+  uint64_t rdv_sent = 0;
+  uint64_t rdv_recv = 0;
+  uint64_t unexpected_eager = 0;  ///< arrivals with no matching irecv
+  uint64_t unexpected_rts = 0;
+  // Reliability layer (SessionConfig::reliable):
+  uint64_t acks_sent = 0;
+  uint64_t retransmits = 0;
+  uint64_t duplicates_dropped = 0;
+};
+
+class Gate {
+ public:
+  /// `rails` are this side's connected NICs towards the peer; they must
+  /// outlive the gate. Receive pool buffers are posted immediately.
+  Gate(Session& session, std::vector<simnet::Nic*> rails);
+  ~Gate();
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  // ---- application-facing API (thread-safe) ----
+
+  /// Start a send. The request object is caller-owned and must outlive
+  /// completion. When `defer` is false the message is packed and posted
+  /// inline; when true it only joins the pending queue — the caller (the
+  /// PIOMan engine) later triggers flush(), typically from an offloaded
+  /// task on an idle core.
+  void isend(SendRequest& req, Tag tag, const void* buf, std::size_t len,
+             bool defer = false);
+
+  /// Start a receive into `buf` (capacity `cap`).
+  void irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap);
+
+  /// Pack and post every pending send (strategy layer: aggregation, rail
+  /// selection). Safe to call from any thread, including concurrently.
+  void flush();
+
+  /// Poll one rail: drain RX (dispatch arrivals) and TX (complete sends,
+  /// advance rendezvous pulls) completion queues. Returns events handled.
+  int poll_rail(int rail_index);
+
+  /// flush() + poll every rail + retransmission check. Returns events
+  /// handled.
+  int progress();
+
+  /// Reliability layer: repost unacknowledged packets older than the RTO.
+  /// No-op unless SessionConfig::reliable. Called by progress(); background
+  /// progression engines whose polling bypasses progress() (per-rail tasks)
+  /// must call it periodically themselves.
+  void check_retransmits();
+
+  [[nodiscard]] int nrails() const { return static_cast<int>(rails_.size()); }
+  [[nodiscard]] simnet::Nic& rail_nic(int rail_index) {
+    return *rails_[static_cast<std::size_t>(rail_index)].nic;
+  }
+  [[nodiscard]] Session& session() { return session_; }
+  [[nodiscard]] GateStats stats() const;
+  [[nodiscard]] std::size_t pending_sends() const;
+
+  /// Total pw allocations (tests assert wrapper recycling works).
+  [[nodiscard]] uint64_t pw_allocated() const { return pw_pool_.allocated(); }
+
+ private:
+  struct PoolBuf {
+    Gate* gate = nullptr;
+    int rail = 0;
+    std::vector<uint8_t> data;
+  };
+
+  struct RailState {
+    simnet::Nic* nic = nullptr;
+    int index = 0;
+    std::deque<PoolBuf> pool;
+    // Serializes pollers of this rail so completions are handled once.
+    sync::SpinLock poll_lock;
+  };
+
+  /// Unexpected arrivals (no matching irecv yet).
+  struct UnexEager {
+    Tag tag = 0;
+    uint64_t seq = 0;
+    std::vector<uint8_t> data;
+  };
+  struct UnexRts {
+    Tag tag = 0;
+    uint64_t seq = 0;
+    uint64_t len = 0;
+    uint64_t raddr = 0;
+  };
+
+  // Wire handling (called from poll_rail).
+  void handle_wire(const uint8_t* data, std::size_t len, int rail_index);
+  void handle_eager(const PktHeader& hdr, const uint8_t* payload);
+  void handle_pack(const PktHeader& hdr, const uint8_t* body, std::size_t len);
+  void handle_rts(const PktHeader& hdr);
+  void handle_fin(const PktHeader& hdr);
+  void handle_ack(const PktHeader& hdr);
+  void handle_tx_completion(const simnet::Completion& c);
+
+  // Reliability layer.
+  /// Record `pkt_seq` as received. False when it is a duplicate.
+  bool dedup_mark(uint64_t pkt_seq);  // requires lock_
+  /// Send a kAck for `pkt_seq` on rail 0.
+  void send_ack(uint64_t pkt_seq);
+  /// Complete + release an acknowledged, landed packet. Call WITHOUT lock_.
+  void finalize_reliable_pw(PacketWrapper* pw);
+
+  // Rendezvous pull: post the RDMA-Read chunks for a matched RTS.
+  void start_pull(RecvRequest& req, const UnexRts& rts);
+  void finish_pull(RdvPull& pull);
+
+  // Pending-send packing (strategy layer). Must be called WITHOUT lock_.
+  void submit_pending();
+  void post_pw(PacketWrapper* pw, int rail_index);
+
+  /// Deliver `payload` into a matched receive and complete it.
+  static void deliver_eager(RecvRequest& req, const uint8_t* payload,
+                            std::size_t len, uint64_t seq, Tag tag);
+
+  Session& session_;
+  std::deque<RailState> rails_;  // deque: RailState holds a lock (immovable)
+  PwPool pw_pool_;
+
+  mutable sync::SpinLock lock_;  // matching + pending + rdv state
+  std::deque<RecvRequest*> expected_;
+  std::deque<UnexEager> unex_eager_;
+  std::deque<UnexRts> unex_rts_;
+  SendRequest* pending_head_ = nullptr;  // intrusive FIFO of deferred sends
+  SendRequest* pending_tail_ = nullptr;
+  std::size_t pending_count_ = 0;
+  std::deque<SendRequest*> rdv_waiting_fin_;
+  std::atomic<uint64_t> next_seq_{1};
+
+  // Reliability layer state (guarded by lock_).
+  uint64_t next_pkt_seq_ = 1;
+  std::deque<PacketWrapper*> unacked_;
+  uint64_t dedup_floor_ = 0;                 ///< all pkt_seq <= floor seen
+  std::unordered_set<uint64_t> dedup_sparse_;///< seen above the floor
+
+  GateStats stats_;  // protected by lock_
+};
+
+}  // namespace piom::nmad

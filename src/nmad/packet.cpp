@@ -1,0 +1,55 @@
+#include "nmad/packet.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace piom::nmad {
+
+void PacketWrapper::append(const void* data, std::size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  wire.insert(wire.end(), p, p + len);
+}
+
+void PacketWrapper::begin(const PktHeader& hdr) {
+  wire.clear();
+  append(&hdr, sizeof(hdr));
+}
+
+PktHeader& PacketWrapper::header() {
+  assert(wire.size() >= sizeof(PktHeader));
+  return *reinterpret_cast<PktHeader*>(wire.data());
+}
+
+PwPool::~PwPool() {
+  while (head_ != nullptr) {
+    PacketWrapper* next = head_->free_next;
+    delete head_;
+    head_ = next;
+  }
+}
+
+PacketWrapper* PwPool::acquire() {
+  {
+    lock_.lock();
+    PacketWrapper* pw = head_;
+    if (pw != nullptr) {
+      head_ = pw->free_next;
+      lock_.unlock();
+      pw->reset();
+      return pw;
+    }
+    lock_.unlock();
+  }
+  allocated_.fetch_add(1, std::memory_order_relaxed);
+  return new PacketWrapper();
+}
+
+void PwPool::release(PacketWrapper* pw) {
+  pw->reset();
+  lock_.lock();
+  pw->free_next = head_;
+  head_ = pw;
+  lock_.unlock();
+}
+
+}  // namespace piom::nmad

@@ -1,0 +1,81 @@
+// PacketWrapper (pw): one wire packet under construction / in flight, plus
+// a recycling pool. A pw may carry several application messages (kPack);
+// the requests it covers are completed when the NIC reports the TX
+// completion. Wrappers are recycled through a freelist, so steady-state
+// traffic performs no memory allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "nmad/request.hpp"
+#include "nmad/types.hpp"
+#include "sync/spinlock.hpp"
+
+namespace piom::nmad {
+
+class Gate;
+
+struct PacketWrapper {
+  std::vector<uint8_t> wire;       ///< serialized header + body
+  std::vector<SendRequest*> reqs;  ///< requests completed at TX completion
+  Gate* gate = nullptr;
+  int rail = 0;
+  PacketWrapper* free_next = nullptr;
+
+  // Reliability-layer state (guarded by the owning gate's lock):
+  uint64_t pkt_seq = 0;      ///< wire-packet number carried in the header
+  bool awaiting_ack = false; ///< completion deferred until the peer's kAck
+  bool in_flight = false;    ///< posted to the NIC, TX completion pending
+  bool acked = false;        ///< kAck received (finalize once !in_flight)
+  int64_t last_post_ns = 0;  ///< retransmission timer
+
+  /// Reset for reuse, keeping the buffers' capacity.
+  void reset() {
+    wire.clear();
+    reqs.clear();
+    gate = nullptr;
+    rail = 0;
+    free_next = nullptr;
+    pkt_seq = 0;
+    awaiting_ack = false;
+    in_flight = false;
+    acked = false;
+    last_post_ns = 0;
+  }
+
+  /// Append raw bytes to the wire image.
+  void append(const void* data, std::size_t len);
+
+  /// Start a packet: serialize the header.
+  void begin(const PktHeader& hdr);
+
+  /// Patch the already-serialized header in place (pack finalisation).
+  [[nodiscard]] PktHeader& header();
+};
+
+/// Freelist of PacketWrappers (spinlock-protected; creation falls back to
+/// `new` only when the pool is empty, i.e. at warm-up or peak depth).
+class PwPool {
+ public:
+  PwPool() = default;
+  ~PwPool();
+  PwPool(const PwPool&) = delete;
+  PwPool& operator=(const PwPool&) = delete;
+
+  [[nodiscard]] PacketWrapper* acquire();
+  void release(PacketWrapper* pw);
+
+  /// Wrappers ever constructed (allocation count; tests assert recycling).
+  [[nodiscard]] uint64_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  sync::SpinLock lock_;
+  PacketWrapper* head_ = nullptr;
+  std::atomic<uint64_t> allocated_{0};
+};
+
+}  // namespace piom::nmad

@@ -1,0 +1,85 @@
+// Send/receive request objects. The piom::Task used for submission
+// offloading is *embedded* in the request (paper §IV-B: "the task structure
+// does not require an allocation since it is included in the packet wrapper
+// structure") — submitting a request to the scheduler allocates nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/task.hpp"
+#include "sync/semaphore.hpp"
+#include "nmad/types.hpp"
+
+namespace piom::nmad {
+
+class Gate;
+struct RecvRequest;
+
+/// Completion flag + wakeup shared by both request kinds.
+struct RequestCore {
+  std::atomic<bool> done{false};
+  sync::Semaphore sem{0};
+
+  void complete() {
+    done.store(true, std::memory_order_release);
+    sem.post();
+  }
+  [[nodiscard]] bool completed() const {
+    return done.load(std::memory_order_acquire);
+  }
+  void reset() {
+    done.store(false, std::memory_order_relaxed);
+    while (sem.try_wait()) {
+    }
+  }
+};
+
+struct SendRequest {
+  Gate* gate = nullptr;
+  Tag tag = 0;
+  uint64_t seq = 0;
+  const void* buf = nullptr;
+  std::size_t len = 0;
+  bool rdv = false;  ///< true: rendezvous (RTS/RDMA-Read/FIN) path
+  RequestCore core;
+  SendRequest* next = nullptr;  ///< intrusive pending-queue linkage
+
+  SendRequest() = default;
+  SendRequest(const SendRequest&) = delete;
+  SendRequest& operator=(const SendRequest&) = delete;
+
+  [[nodiscard]] bool completed() const { return core.completed(); }
+  void wait() { core.sem.wait(); }
+};
+
+/// Rendezvous pull bookkeeping: one RDMA-Read per rail chunk; the request
+/// completes (and FIN is sent) when every chunk has landed.
+struct RdvPull {
+  std::atomic<int> chunks_remaining{0};
+  RecvRequest* req = nullptr;
+  Tag tag = 0;
+  uint64_t seq = 0;
+};
+
+struct RecvRequest {
+  Gate* gate = nullptr;
+  Tag tag = 0;
+  void* buf = nullptr;
+  std::size_t cap = 0;
+  std::size_t received = 0;
+  uint64_t matched_seq = 0;
+  Tag matched_tag = 0;  ///< actual tag when posted with kAnyTag
+  RequestCore core;
+  RdvPull pull;  ///< embedded: no allocation on the rendezvous path either
+
+  RecvRequest() = default;
+  RecvRequest(const RecvRequest&) = delete;
+  RecvRequest& operator=(const RecvRequest&) = delete;
+
+  [[nodiscard]] bool completed() const { return core.completed(); }
+  void wait() { core.sem.wait(); }
+};
+
+}  // namespace piom::nmad

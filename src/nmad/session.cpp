@@ -1,0 +1,55 @@
+#include "nmad/session.hpp"
+
+#include <stdexcept>
+
+namespace piom::nmad {
+
+const char* pkt_kind_name(PktKind k) {
+  switch (k) {
+    case PktKind::kEager: return "eager";
+    case PktKind::kPack: return "pack";
+    case PktKind::kRts: return "rts";
+    case PktKind::kFin: return "fin";
+    case PktKind::kAck: return "ack";
+  }
+  return "?";
+}
+
+Session::Session(std::string name, SessionConfig config)
+    : name_(std::move(name)), config_(config), strategy_(config.strategy) {
+  if (config_.eager_threshold + sizeof(PktHeader) > kPoolBufSize) {
+    throw std::invalid_argument(
+        "Session: eager_threshold must fit a pool buffer");
+  }
+  if (config_.strategy.max_pack_bytes + sizeof(PktHeader) > kPoolBufSize) {
+    throw std::invalid_argument(
+        "Session: max_pack_bytes must fit a pool buffer");
+  }
+  if (config_.pool_bufs_per_rail < 1) {
+    throw std::invalid_argument("Session: need at least one pool buffer");
+  }
+}
+
+Session::~Session() = default;
+
+Gate& Session::create_gate(std::vector<simnet::Nic*> rails) {
+  if (rails.empty()) {
+    throw std::invalid_argument("Session::create_gate: no rails");
+  }
+  for (simnet::Nic* nic : rails) {
+    if (nic == nullptr || nic->peer() == nullptr) {
+      throw std::invalid_argument(
+          "Session::create_gate: rail NIC missing or unconnected");
+    }
+  }
+  gates_.push_back(std::make_unique<Gate>(*this, std::move(rails)));
+  return *gates_.back();
+}
+
+int Session::progress() {
+  int events = 0;
+  for (auto& g : gates_) events += g->progress();
+  return events;
+}
+
+}  // namespace piom::nmad

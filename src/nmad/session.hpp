@@ -1,0 +1,58 @@
+// Session: one communication-library instance ("one node's NewMadeleine").
+// Owns the gates towards peers, the strategy layer and the configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nmad/gate.hpp"
+#include "nmad/strategy.hpp"
+#include "nmad/types.hpp"
+
+namespace piom::nmad {
+
+struct SessionConfig {
+  /// Messages above this size use the rendezvous protocol.
+  std::size_t eager_threshold = kDefaultEagerThreshold;
+  /// Pre-posted receive buffers per rail (eager/control traffic).
+  int pool_bufs_per_rail = 32;
+  /// Reliability layer for lossy fabrics (LinkModel::drop_rate > 0): every
+  /// data/control packet is acknowledged and retransmitted after `rto_us`;
+  /// duplicates are filtered by packet sequence number. Send completions
+  /// then mean "acknowledged" rather than "on the wire".
+  bool reliable = false;
+  double rto_us = 200.0;
+  StrategyConfig strategy;
+};
+
+class Session {
+ public:
+  explicit Session(std::string name, SessionConfig config = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Create a gate towards a peer over `rails` (this side's NICs, already
+  /// connected to the peer's). Returned reference is stable.
+  Gate& create_gate(std::vector<simnet::Nic*> rails);
+
+  /// Flush pending sends and poll every rail of every gate.
+  /// Returns events handled.
+  int progress();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+  [[nodiscard]] Strategy& strategy() { return strategy_; }
+  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] Gate& gate(std::size_t i) { return *gates_[i]; }
+
+ private:
+  std::string name_;
+  SessionConfig config_;
+  Strategy strategy_;
+  std::vector<std::unique_ptr<Gate>> gates_;
+};
+
+}  // namespace piom::nmad

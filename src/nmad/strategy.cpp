@@ -1,0 +1,62 @@
+#include "nmad/strategy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace piom::nmad {
+
+int Strategy::select_eager_rail(int nrails) {
+  if (nrails <= 1 || !config_.eager_round_robin) return 0;
+  return static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                          static_cast<uint32_t>(nrails));
+}
+
+std::vector<StripeChunk> Strategy::stripe(
+    std::size_t len, const std::vector<double>& bandwidths) const {
+  assert(!bandwidths.empty());
+  std::vector<StripeChunk> chunks;
+  const int nrails = static_cast<int>(bandwidths.size());
+  if (!config_.multirail_stripe || nrails == 1 ||
+      len < 2 * config_.stripe_min_chunk) {
+    chunks.push_back(StripeChunk{0, 0, len});
+    return chunks;
+  }
+  const double total_bw =
+      std::accumulate(bandwidths.begin(), bandwidths.end(), 0.0);
+  std::size_t offset = 0;
+  for (int r = 0; r < nrails; ++r) {
+    std::size_t share =
+        (r == nrails - 1)
+            ? len - offset  // last rail absorbs rounding
+            : static_cast<std::size_t>(static_cast<double>(len) *
+                                       bandwidths[static_cast<std::size_t>(r)] /
+                                       total_bw);
+    if (r < nrails - 1 && share < config_.stripe_min_chunk) {
+      // Too small to be worth a packet on its own rail: skip this rail and
+      // let later rails (or the tail) absorb it.
+      continue;
+    }
+    if (share == 0) continue;
+    chunks.push_back(StripeChunk{r, offset, share});
+    offset += share;
+  }
+  if (offset < len) {
+    // Rounding shortfall (possible when rails were skipped): extend the
+    // last chunk.
+    if (chunks.empty()) {
+      chunks.push_back(StripeChunk{0, 0, len});
+    } else {
+      chunks.back().len += len - offset;
+    }
+  }
+  return chunks;
+}
+
+bool Strategy::should_pack(int pending_count, std::size_t bytes) const {
+  return config_.aggregation && pending_count >= 2 &&
+         pending_count <= config_.max_pack_msgs &&
+         bytes <= config_.max_pack_bytes;
+}
+
+}  // namespace piom::nmad

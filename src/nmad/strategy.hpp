@@ -1,0 +1,63 @@
+// Scheduling strategies applied to outgoing communication flows
+// (NewMadeleine's optimisation layer, paper Fig 1 and §IV-B):
+//   * aggregation   — pack several pending small messages to the same gate
+//                     into one wire packet;
+//   * multirail     — distribute bulk (rendezvous) data across every rail,
+//                     proportionally to each rail's bandwidth;
+//   * rail selection for eager traffic (round-robin when multirail).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace piom::nmad {
+
+struct StrategyConfig {
+  /// Pack pending eager messages into kPack wire packets.
+  bool aggregation = false;
+  /// Aggregate at most this much payload+headers per wire packet.
+  std::size_t max_pack_bytes = 48 * 1024;
+  /// Aggregate at most this many messages per wire packet.
+  int max_pack_msgs = 32;
+  /// Stripe rendezvous data across all rails (else rail 0 only).
+  bool multirail_stripe = true;
+  /// Do not split chunks below this size (per-packet overhead dominates).
+  std::size_t stripe_min_chunk = 64 * 1024;
+  /// Spread eager packets round-robin across rails (else rail 0).
+  bool eager_round_robin = false;
+};
+
+/// One striped slice of a rendezvous transfer.
+struct StripeChunk {
+  int rail = 0;
+  std::size_t offset = 0;
+  std::size_t len = 0;
+};
+
+class Strategy {
+ public:
+  explicit Strategy(StrategyConfig config) : config_(config) {}
+
+  [[nodiscard]] const StrategyConfig& config() const { return config_; }
+
+  /// Rail for the next eager/control packet.
+  [[nodiscard]] int select_eager_rail(int nrails);
+
+  /// Split `len` bytes across rails weighted by `bandwidths` (GB/s per
+  /// rail). Always returns at least one chunk; chunks are contiguous,
+  /// cover [0, len) exactly, and respect stripe_min_chunk.
+  [[nodiscard]] std::vector<StripeChunk> stripe(
+      std::size_t len, const std::vector<double>& bandwidths) const;
+
+  /// True when `pending_count` messages of combined size `bytes` may be
+  /// packed into a single wire packet.
+  [[nodiscard]] bool should_pack(int pending_count, std::size_t bytes) const;
+
+ private:
+  StrategyConfig config_;
+  std::atomic<uint32_t> rr_{0};
+};
+
+}  // namespace piom::nmad

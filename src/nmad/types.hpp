@@ -1,0 +1,69 @@
+// Wire-level types of the nmad communication library (NewMadeleine-like).
+//
+// All traffic between two gates travels as discrete packets over the
+// simulated NICs:
+//   kEager — small message: header + payload in one packet (track #0);
+//   kPack  — several eager messages to the same gate aggregated into one
+//            wire packet (the Fig-1 cross-flow optimisation);
+//   kRts   — rendezvous request for a large message: carries the sender's
+//            buffer address; the receiver pulls the data with RDMA-Read
+//            (zero sender-CPU data path) and answers with
+//   kFin   — rendezvous completion notification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace piom::nmad {
+
+using Tag = uint32_t;
+
+/// Wildcard receive tag (MPI_ANY_TAG equivalent): matches any arriving
+/// message; ties are broken by sequence number (arrival order). Not valid
+/// on the send side.
+inline constexpr Tag kAnyTag = 0xffffffffu;
+
+enum class PktKind : uint8_t {
+  kEager = 1,
+  kPack = 2,
+  kRts = 3,
+  kFin = 4,
+  /// Reliability layer: acknowledges one wire packet by pkt_seq. Acks are
+  /// themselves unacknowledged (a lost ack is repaired by the sender's
+  /// retransmission and the receiver's dedup).
+  kAck = 5,
+};
+
+[[nodiscard]] const char* pkt_kind_name(PktKind k);
+
+/// Fixed wire header, leading every packet.
+struct PktHeader {
+  uint8_t kind = 0;      ///< PktKind
+  uint8_t pad = 0;
+  uint16_t nmsgs = 0;    ///< kPack: number of aggregated messages
+  Tag tag = 0;           ///< kEager/kRts/kFin: message tag
+  uint64_t seq = 0;      ///< per-gate sequence number (matching order)
+  uint64_t len = 0;      ///< payload length (kEager: body; kRts: data size)
+  uint64_t raddr = 0;    ///< kRts: sender buffer address for RDMA-Read
+  uint64_t pkt_seq = 0;  ///< per-gate wire-packet number (reliability layer)
+};
+static_assert(sizeof(PktHeader) == 40, "wire header layout");
+
+/// Sub-header of one message inside a kPack packet, followed by `len`
+/// payload bytes.
+struct PackEntry {
+  Tag tag = 0;
+  uint32_t reserved = 0;
+  uint64_t seq = 0;
+  uint64_t len = 0;
+};
+static_assert(sizeof(PackEntry) == 24, "pack entry layout");
+
+/// Receive pool buffer size per rail. Every control/eager/pack packet must
+/// fit (enforced against the eager threshold and pack limits).
+inline constexpr std::size_t kPoolBufSize = 64 * 1024;
+
+/// Default protocol switch point: messages above go rendezvous.
+inline constexpr std::size_t kDefaultEagerThreshold = 16 * 1024;
+
+}  // namespace piom::nmad

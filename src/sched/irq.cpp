@@ -1,0 +1,33 @@
+#include "sched/irq.hpp"
+
+namespace piom::sched {
+
+IrqService::IrqService(TaskManager& tm, int home_cpu)
+    : tm_(tm), home_cpu_(home_cpu), thread_([this] { loop(); }) {
+  tm_.set_urgent_notifier([this] { wakeups_.post(); });
+}
+
+IrqService::~IrqService() { stop(); }
+
+void IrqService::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  tm_.set_urgent_notifier({});
+  wakeups_.post();  // unblock the service thread
+  if (thread_.joinable()) thread_.join();
+}
+
+void IrqService::loop() {
+  while (true) {
+    wakeups_.wait();
+    if (!running_.load(std::memory_order_acquire)) {
+      // Final sweep so no urgent task is stranded after stop().
+      tm_.run_urgent(home_cpu_);
+      return;
+    }
+    const int n = tm_.run_urgent(home_cpu_);
+    tasks_run_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace piom::sched

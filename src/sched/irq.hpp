@@ -1,0 +1,51 @@
+// IrqService — out-of-band executor for preemptive tasks (paper §VI:
+// "The possibility to use preemptive tasks – that is, tasks that can be
+// executed immediately, even on a distant CPU where a thread is computing –
+// will also be investigated").
+//
+// A real implementation would use inter-processor interrupts or signals;
+// here a dedicated high-priority service thread parks on a semaphore and is
+// woken by TaskManager's urgent notifier the instant a kTaskUrgent task is
+// submitted. Latency is one semaphore wake (~µs), independent of what every
+// worker core is doing — compare bench_ablation_urgent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/task_manager.hpp"
+#include "sync/semaphore.hpp"
+
+namespace piom::sched {
+
+class IrqService {
+ public:
+  /// Registers itself as `tm`'s urgent notifier. `home_cpu` is the core id
+  /// executions are attributed to (stats only; the service thread is not
+  /// one of the workers).
+  explicit IrqService(TaskManager& tm, int home_cpu = 0);
+  ~IrqService();
+
+  IrqService(const IrqService&) = delete;
+  IrqService& operator=(const IrqService&) = delete;
+
+  void stop();
+
+  /// Tasks executed by the service thread so far.
+  [[nodiscard]] uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  TaskManager& tm_;
+  const int home_cpu_;
+  sync::Semaphore wakeups_{0};
+  std::atomic<bool> running_{true};
+  std::atomic<uint64_t> tasks_run_{0};
+  std::thread thread_;
+};
+
+}  // namespace piom::sched

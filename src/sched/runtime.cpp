@@ -1,0 +1,191 @@
+#include "sched/runtime.hpp"
+
+#include <pthread.h>
+
+#include <functional>
+
+#include "sync/backoff.hpp"
+#include "util/log.hpp"
+
+namespace piom::sched {
+
+namespace {
+thread_local int tls_current_cpu = -1;
+}  // namespace
+
+Runtime::Runtime(const topo::Machine& machine, TaskManager& tm,
+                 RuntimeConfig config)
+    : machine_(machine), tm_(tm), config_(config) {
+  const int n = machine_.ncpus();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int c = 0; c < n; ++c) {
+    workers_[static_cast<std::size_t>(c)]->thread =
+        std::thread([this, c] { worker_loop(c); });
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::pin_to_host_cpu(int cpu) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || static_cast<unsigned>(cpu) >= hw) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  // Best effort: containers may deny affinity changes.
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    PIOM_LOG_DEBUG("pinning worker %d failed (ignored)", cpu);
+  }
+}
+
+int Runtime::current_cpu() { return tls_current_cpu; }
+
+void Runtime::worker_loop(int cpu) {
+  tls_current_cpu = cpu;
+  if (config_.pin_threads) pin_to_host_cpu(cpu);
+  Worker& w = *workers_[static_cast<std::size_t>(cpu)];
+  int idle_spins = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    // 1. Application jobs have priority (PIOMan only consumes *holes* in the
+    //    schedule; it never steals time from computation).
+    std::function<void()> job;
+    if (w.pending_jobs.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lk(w.mutex);
+      if (!w.jobs.empty()) {
+        job = std::move(w.jobs.front());
+        w.jobs.pop_front();
+        w.pending_jobs.fetch_sub(1, std::memory_order_release);
+      }
+    }
+    if (job) {
+      w.state.store(WorkerState::kBusy, std::memory_order_release);
+      job();
+      w.state.store(WorkerState::kIdle, std::memory_order_release);
+      jobs_run_.fetch_add(1, std::memory_order_release);
+      idle_spins = 0;
+      continue;
+    }
+    // 2. Idle hook: run communication tasks (Algorithm 1 walk).
+    const int executed = tm_.schedule(cpu);
+    if (executed > 0) {
+      idle_spins = 0;
+      continue;
+    }
+    // 3. Fully idle. Keep spinning while any queue holds tasks somewhere
+    //    (they may become reachable / repeatable polls need servicing),
+    //    otherwise nap until a job arrives.
+    ++idle_spins;
+    if (idle_spins < config_.idle_spins_before_nap ||
+        tm_.pending_approx() > 0) {
+      sync::cpu_relax();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(w.mutex);
+    w.cv.wait_for(lk, config_.idle_nap, [&] {
+      return !w.jobs.empty() || !running_.load(std::memory_order_acquire);
+    });
+    idle_spins = 0;
+  }
+  tls_current_cpu = -1;
+}
+
+void Runtime::submit_job(int cpu, std::function<void()> job) {
+  if (cpu < 0 || cpu >= ncpus()) {
+    throw std::out_of_range("Runtime::submit_job: bad cpu");
+  }
+  Worker& w = *workers_[static_cast<std::size_t>(cpu)];
+  {
+    std::lock_guard<std::mutex> lk(w.mutex);
+    w.jobs.push_back(std::move(job));
+    w.pending_jobs.fetch_add(1, std::memory_order_release);
+  }
+  jobs_submitted_.fetch_add(1, std::memory_order_release);
+  w.cv.notify_one();
+}
+
+WorkerState Runtime::worker_state(int cpu) const {
+  return workers_[static_cast<std::size_t>(cpu)]->state.load(
+      std::memory_order_acquire);
+}
+
+int Runtime::find_idle_near(int cpu) const {
+  // Walk up the topology: try cores sharing the deepest level first.
+  topo::CpuSet visited;
+  for (const topo::TopoNode* node : machine_.path_to_root(cpu)) {
+    for (int c = node->cpus.first(); c >= 0; c = node->cpus.next(c)) {
+      if (c == cpu || visited.test(c)) continue;
+      visited.set(c);
+      const Worker& w = *workers_[static_cast<std::size_t>(c)];
+      if (w.state.load(std::memory_order_acquire) == WorkerState::kIdle &&
+          w.pending_jobs.load(std::memory_order_acquire) == 0) {
+        return c;
+      }
+    }
+  }
+  return -1;
+}
+
+int Runtime::schedule_here() {
+  int cpu = current_cpu();
+  if (cpu < 0) {
+    // Foreign thread: progress on behalf of a stable thread-hashed core.
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    cpu = static_cast<int>(h % static_cast<std::size_t>(ncpus()));
+  }
+  return tm_.schedule(cpu);
+}
+
+void Runtime::quiesce() {
+  sync::Backoff backoff;
+  for (;;) {
+    if (jobs_run_.load(std::memory_order_acquire) ==
+        jobs_submitted_.load(std::memory_order_acquire)) {
+      bool all_idle = true;
+      for (int c = 0; c < ncpus(); ++c) {
+        if (worker_state(c) == WorkerState::kBusy) {
+          all_idle = false;
+          break;
+        }
+      }
+      if (all_idle) return;
+    }
+    backoff.spin();
+  }
+}
+
+void Runtime::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(w->mutex);
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+BlockingSection::BlockingSection(Runtime& rt) : rt_(rt), cpu_(Runtime::current_cpu()) {
+  // Blocking-call hook: one progression pass before the thread parks, and
+  // the core is marked available for offloaded work while we block.
+  if (cpu_ >= 0) {
+    Runtime::Worker& w = *rt_.workers_[static_cast<std::size_t>(cpu_)];
+    saved_ = w.state.exchange(WorkerState::kBlocked, std::memory_order_acq_rel);
+  }
+  rt_.schedule_here();
+}
+
+BlockingSection::~BlockingSection() {
+  if (cpu_ >= 0) {
+    Runtime::Worker& w = *rt_.workers_[static_cast<std::size_t>(cpu_)];
+    w.state.store(saved_, std::memory_order_release);
+  }
+}
+
+}  // namespace piom::sched

@@ -1,0 +1,137 @@
+// sched::Runtime — stand-in for the MARCEL thread scheduler the paper hooks
+// into. It owns one worker thread per simulated core (pinned to a host CPU
+// when permitted) and invokes the TaskManager at the same keypoints MARCEL
+// triggers PIOMan:
+//   * CPU idleness      — a worker with no application job schedules tasks;
+//   * blocking sections — BlockingSection RAII schedules before parking
+//                         (paper: "a thread enters a blocking section ...
+//                         the task is processed");
+//   * timer interrupt   — see sched/timer.hpp: a periodic thread guarantees
+//                         progress even when every core runs CPU-hungry jobs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/task_manager.hpp"
+#include "topo/machine.hpp"
+
+namespace piom::sched {
+
+struct RuntimeConfig {
+  /// Pin worker i to host CPU i (best effort; ignored when the host has
+  /// fewer CPUs or pinning is not permitted).
+  bool pin_threads = true;
+  /// How long an idle worker keeps spinning on schedule() before it naps
+  /// (it never naps while reachable queues hold tasks, so polling tasks are
+  /// serviced continuously — PIOMan busy-polls on idle cores).
+  int idle_spins_before_nap = 256;
+  /// Nap length for a fully idle worker (woken early by submit_job).
+  std::chrono::microseconds idle_nap{200};
+};
+
+/// Worker occupancy, visible to nmad's "find an idle core" offload logic.
+enum class WorkerState : uint8_t {
+  kIdle = 0,     ///< no application job; polling / napping
+  kBusy = 1,     ///< running an application job
+  kBlocked = 2,  ///< inside a BlockingSection
+};
+
+class Runtime {
+ public:
+  /// `machine` and `tm` must outlive the runtime. Spawns ncpus() workers.
+  Runtime(const topo::Machine& machine, TaskManager& tm,
+          RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Enqueue an application ("computation") job on core `cpu`'s worker.
+  void submit_job(int cpu, std::function<void()> job);
+
+  /// Simulated-core id of the calling thread: worker index for workers,
+  /// -1 for foreign threads.
+  [[nodiscard]] static int current_cpu();
+
+  /// Occupancy of core `cpu`.
+  [[nodiscard]] WorkerState worker_state(int cpu) const;
+  [[nodiscard]] bool is_idle(int cpu) const {
+    return worker_state(cpu) == WorkerState::kIdle;
+  }
+
+  /// Nearest idle core to `cpu` by topology distance (same cache, then same
+  /// chip/NUMA node, then anywhere), excluding `cpu` itself; -1 when every
+  /// core is busy. This is §IV-B's submission-offload site search: "the
+  /// state of each core is evaluated in order to find an idle core ...
+  /// the nearest idle core is specified in the CPU set."
+  [[nodiscard]] int find_idle_near(int cpu) const;
+
+  /// One progression step on behalf of the calling thread: uses its own
+  /// core when it is a worker, else a thread-hashed core. Returns tasks run.
+  int schedule_here();
+
+  /// Number of jobs executed so far (tests).
+  [[nodiscard]] uint64_t jobs_run() const {
+    return jobs_run_.load(std::memory_order_relaxed);
+  }
+
+  /// Wait until every submitted job has finished and all workers are idle.
+  void quiesce();
+
+  void stop();  ///< join all workers (idempotent; called by dtor)
+
+  [[nodiscard]] TaskManager& task_manager() { return tm_; }
+  [[nodiscard]] const topo::Machine& machine() const { return machine_; }
+  [[nodiscard]] int ncpus() const { return machine_.ncpus(); }
+
+ private:
+  friend class BlockingSection;
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> jobs;
+    std::atomic<WorkerState> state{WorkerState::kIdle};
+    std::atomic<uint64_t> pending_jobs{0};
+  };
+
+  void worker_loop(int cpu);
+  static void pin_to_host_cpu(int cpu);
+
+  const topo::Machine& machine_;
+  TaskManager& tm_;
+  RuntimeConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{true};
+  std::atomic<uint64_t> jobs_run_{0};
+  std::atomic<uint64_t> jobs_submitted_{0};
+};
+
+/// RAII blocking-section hook. A thread about to block (e.g. on a request
+/// semaphore) wraps the wait in a BlockingSection: the scheduler gets one
+/// progression pass, and the thread's core is advertised as available so
+/// nmad offloads work to it.
+class BlockingSection {
+ public:
+  explicit BlockingSection(Runtime& rt);
+  ~BlockingSection();
+
+  BlockingSection(const BlockingSection&) = delete;
+  BlockingSection& operator=(const BlockingSection&) = delete;
+
+ private:
+  Runtime& rt_;
+  int cpu_;
+  WorkerState saved_ = WorkerState::kIdle;
+};
+
+}  // namespace piom::sched

@@ -1,0 +1,31 @@
+#include "sched/timer.hpp"
+
+namespace piom::sched {
+
+TimerHook::TimerHook(TaskManager& tm, std::chrono::microseconds period)
+    : tm_(tm), period_(period), thread_([this] { loop(); }) {}
+
+TimerHook::~TimerHook() { stop(); }
+
+void TimerHook::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerHook::loop() {
+  const int ncpus = tm_.machine().ncpus();
+  int rr = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period_);
+    if (!running_.load(std::memory_order_acquire)) break;
+    // The "interrupted" core for this tick.
+    const int cpu = rr;
+    rr = (rr + 1) % ncpus;
+    const int n = tm_.schedule(cpu);
+    tasks_run_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace piom::sched

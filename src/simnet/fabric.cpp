@@ -1,0 +1,43 @@
+#include "simnet/fabric.hpp"
+
+#include <stdexcept>
+
+namespace piom::simnet {
+
+Fabric::Fabric(double time_scale) : time_scale_(time_scale) {
+  if (time_scale <= 0) {
+    throw std::invalid_argument("Fabric: time_scale must be positive");
+  }
+}
+
+Fabric::~Fabric() {
+  // Stop engines before the NICs are destroyed (unique_ptr order would do
+  // it too, but be explicit: no engine may touch a dead peer).
+  for (auto& nic : nics_) nic->stop();
+}
+
+Nic& Fabric::create_nic(const std::string& name, const LinkModel& link) {
+  nics_.push_back(std::unique_ptr<Nic>(new Nic(*this, name, link)));
+  Nic& nic = *nics_.back();
+  nic.start();
+  return nic;
+}
+
+void Fabric::connect(Nic& a, Nic& b) {
+  if (&a == &b) throw std::invalid_argument("Fabric::connect: self-link");
+  if (a.peer_ != nullptr || b.peer_ != nullptr) {
+    throw std::logic_error("Fabric::connect: NIC already connected");
+  }
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+std::pair<Nic*, Nic*> Fabric::create_link(const std::string& name,
+                                          const LinkModel& link) {
+  Nic& a = create_nic(name + ".a", link);
+  Nic& b = create_nic(name + ".b", link);
+  connect(a, b);
+  return {&a, &b};
+}
+
+}  // namespace piom::simnet

@@ -1,0 +1,47 @@
+// Fabric: owner of the simulated NICs and the global time scale.
+//
+// A Fabric stands for "the interconnect between two cluster nodes" in one
+// process. Create NICs, connect them pairwise (one link = one NIC pair),
+// and hand each side to a communication library instance. Multirail = one
+// node holding several connected NICs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/link_model.hpp"
+#include "simnet/nic.hpp"
+
+namespace piom::simnet {
+
+class Fabric {
+ public:
+  /// `time_scale` multiplies every modelled delay (1.0 = realistic ns;
+  /// tests may use <1 for speed, >1 to magnify protocol effects).
+  explicit Fabric(double time_scale = 1.0);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Create a NIC attached to this fabric. Engine starts immediately.
+  Nic& create_nic(const std::string& name, const LinkModel& link = {});
+
+  /// Wire two NICs back-to-back (both directions). Each NIC may be
+  /// connected exactly once.
+  static void connect(Nic& a, Nic& b);
+
+  /// Convenience: create a connected pair over one link model.
+  std::pair<Nic*, Nic*> create_link(const std::string& name,
+                                    const LinkModel& link = {});
+
+  [[nodiscard]] double time_scale() const { return time_scale_; }
+  [[nodiscard]] std::size_t nic_count() const { return nics_.size(); }
+
+ private:
+  double time_scale_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace piom::simnet

@@ -1,0 +1,18 @@
+#include "simnet/link_model.hpp"
+
+namespace piom::simnet {
+
+int64_t LinkModel::occupancy_ns(std::size_t bytes) const {
+  // bandwidth_GBps == bytes per ns * 1e0: 1 GB/s == 1 byte/ns.
+  const double ns = static_cast<double>(bytes) / bandwidth_GBps;
+  return static_cast<int64_t>(ns);
+}
+
+int64_t LinkModel::transfer_ns(std::size_t bytes) const {
+  return static_cast<int64_t>((packet_overhead_us + latency_us) * 1e3) +
+         occupancy_ns(bytes);
+}
+
+int64_t LinkModel::rtt_ns() const { return 2 * transfer_ns(0); }
+
+}  // namespace piom::simnet

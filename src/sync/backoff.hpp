@@ -1,0 +1,42 @@
+// Exponential backoff for spin loops (TTAS locks, lock-free retry loops).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace piom::sync {
+
+/// One architectural pause; hints the core that we are spinning.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff: starts at one pause, doubles up to `kMaxSpins`
+/// pauses, then degrades to yield() so a preempted lock holder can run.
+class Backoff {
+ public:
+  void spin() {
+    if (spins_ <= kMaxSpins) {
+      for (uint32_t i = 0; i < spins_; ++i) cpu_relax();
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 1; }
+
+ private:
+  static constexpr uint32_t kMaxSpins = 1024;
+  uint32_t spins_ = 1;
+};
+
+}  // namespace piom::sync

@@ -1,0 +1,32 @@
+// Cache-line management helpers. Hierarchical queues live on separate cache
+// lines so that contention on one queue never false-shares with another —
+// the paper's whole point is that per-core queues are contention-free.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace piom::sync {
+
+// Fixed at 64 bytes (x86-64 / most ARM): using
+// std::hardware_destructive_interference_size would make the struct layouts
+// (an ABI concern) vary with compiler tuning flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps T so that it occupies (at least) its own cache line.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value;
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace piom::sync

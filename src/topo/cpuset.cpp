@@ -1,0 +1,171 @@
+#include "topo/cpuset.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace piom::topo {
+
+namespace {
+void check_cpu(int cpu) {
+  if (cpu < 0 || cpu >= CpuSet::kMaxCpus) {
+    throw std::out_of_range("CpuSet: cpu index out of range");
+  }
+}
+}  // namespace
+
+CpuSet CpuSet::single(int cpu) {
+  CpuSet s;
+  s.set(cpu);
+  return s;
+}
+
+CpuSet CpuSet::range(int lo, int hi) {
+  CpuSet s;
+  for (int c = lo; c < hi; ++c) s.set(c);
+  return s;
+}
+
+CpuSet CpuSet::first_n(int n) { return range(0, n); }
+
+CpuSet CpuSet::parse(const std::string& list) {
+  CpuSet s;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long lo = std::strtol(p, &end, 10);
+    if (end == p) throw std::invalid_argument("CpuSet::parse: expected number");
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtol(p, &end, 10);
+      if (end == p) {
+        throw std::invalid_argument("CpuSet::parse: expected range end");
+      }
+      p = end;
+    }
+    if (hi < lo) throw std::invalid_argument("CpuSet::parse: inverted range");
+    for (long c = lo; c <= hi; ++c) s.set(static_cast<int>(c));
+    if (*p == ',') {
+      ++p;
+    } else if (*p != '\0') {
+      throw std::invalid_argument("CpuSet::parse: unexpected character");
+    }
+  }
+  return s;
+}
+
+void CpuSet::set(int cpu) {
+  check_cpu(cpu);
+  words_[static_cast<std::size_t>(cpu) / 64] |= (uint64_t{1} << (cpu % 64));
+}
+
+void CpuSet::clear(int cpu) {
+  check_cpu(cpu);
+  words_[static_cast<std::size_t>(cpu) / 64] &= ~(uint64_t{1} << (cpu % 64));
+}
+
+bool CpuSet::test(int cpu) const {
+  if (cpu < 0 || cpu >= kMaxCpus) return false;
+  return (words_[static_cast<std::size_t>(cpu) / 64] >> (cpu % 64)) & 1U;
+}
+
+bool CpuSet::empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int CpuSet::count() const {
+  int n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+int CpuSet::first() const { return next(-1); }
+
+int CpuSet::next(int prev) const {
+  int start = prev + 1;
+  if (start < 0) start = 0;
+  for (int wi = start / 64; wi < kWords; ++wi) {
+    uint64_t w = words_[static_cast<std::size_t>(wi)];
+    if (wi == start / 64) {
+      const int shift = start % 64;
+      w &= (shift == 0) ? ~uint64_t{0} : (~uint64_t{0} << shift);
+    }
+    if (w != 0) return wi * 64 + std::countr_zero(w);
+  }
+  return -1;
+}
+
+bool CpuSet::contains(const CpuSet& other) const {
+  for (int i = 0; i < kWords; ++i) {
+    const auto wi = static_cast<std::size_t>(i);
+    if ((other.words_[wi] & ~words_[wi]) != 0) return false;
+  }
+  return true;
+}
+
+bool CpuSet::intersects(const CpuSet& other) const {
+  for (int i = 0; i < kWords; ++i) {
+    const auto wi = static_cast<std::size_t>(i);
+    if ((other.words_[wi] & words_[wi]) != 0) return true;
+  }
+  return false;
+}
+
+CpuSet CpuSet::operator|(const CpuSet& o) const {
+  CpuSet r = *this;
+  r |= o;
+  return r;
+}
+
+CpuSet CpuSet::operator&(const CpuSet& o) const {
+  CpuSet r = *this;
+  r &= o;
+  return r;
+}
+
+CpuSet CpuSet::operator~() const {
+  CpuSet r;
+  for (int i = 0; i < kWords; ++i) {
+    const auto wi = static_cast<std::size_t>(i);
+    r.words_[wi] = ~words_[wi];
+  }
+  return r;
+}
+
+CpuSet& CpuSet::operator|=(const CpuSet& o) {
+  for (int i = 0; i < kWords; ++i) {
+    words_[static_cast<std::size_t>(i)] |= o.words_[static_cast<std::size_t>(i)];
+  }
+  return *this;
+}
+
+CpuSet& CpuSet::operator&=(const CpuSet& o) {
+  for (int i = 0; i < kWords; ++i) {
+    words_[static_cast<std::size_t>(i)] &= o.words_[static_cast<std::size_t>(i)];
+  }
+  return *this;
+}
+
+std::string CpuSet::to_string() const {
+  std::string out;
+  int c = first();
+  while (c >= 0) {
+    int run_end = c;
+    while (test(run_end + 1)) ++run_end;
+    if (!out.empty()) out += ',';
+    out += std::to_string(c);
+    if (run_end > c) {
+      out += '-';
+      out += std::to_string(run_end);
+    }
+    c = next(run_end);
+  }
+  return out;
+}
+
+}  // namespace piom::topo

@@ -1,0 +1,57 @@
+// CpuSet: fixed-size CPU bitmask attached to every task. The set expresses
+// which cores are allowed to execute the task (paper §III: "A CPU set is
+// attached to the task so as to avoid unwanted cores to execute it").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace piom::topo {
+
+class CpuSet {
+ public:
+  static constexpr int kMaxCpus = 256;
+
+  constexpr CpuSet() = default;
+
+  /// Set containing only `cpu`.
+  [[nodiscard]] static CpuSet single(int cpu);
+  /// Set containing cpus in [lo, hi).
+  [[nodiscard]] static CpuSet range(int lo, int hi);
+  /// Set containing cpus [0, n).
+  [[nodiscard]] static CpuSet first_n(int n);
+  /// Parse a "0-3,7,12-15" style list; throws std::invalid_argument on junk.
+  [[nodiscard]] static CpuSet parse(const std::string& list);
+
+  void set(int cpu);
+  void clear(int cpu);
+  [[nodiscard]] bool test(int cpu) const;
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] int count() const;
+  /// Lowest set cpu, or -1 when empty.
+  [[nodiscard]] int first() const;
+  /// Lowest set cpu strictly greater than `prev`, or -1.
+  [[nodiscard]] int next(int prev) const;
+
+  /// True when every cpu of `other` is also in *this.
+  [[nodiscard]] bool contains(const CpuSet& other) const;
+  [[nodiscard]] bool intersects(const CpuSet& other) const;
+
+  [[nodiscard]] CpuSet operator|(const CpuSet& o) const;
+  [[nodiscard]] CpuSet operator&(const CpuSet& o) const;
+  [[nodiscard]] CpuSet operator~() const;
+  CpuSet& operator|=(const CpuSet& o);
+  CpuSet& operator&=(const CpuSet& o);
+  bool operator==(const CpuSet& o) const = default;
+
+  /// "0-3,7" style rendering (inverse of parse()).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr int kWords = kMaxCpus / 64;
+  std::array<uint64_t, kWords> words_{};
+};
+
+}  // namespace piom::topo

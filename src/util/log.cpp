@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace piom::util {
+
+namespace {
+LogLevel parse_level() {
+  const char* env = std::getenv("PIOM_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() {
+  static const LogLevel lvl = parse_level();
+  return lvl;
+}
+
+void log_emit(LogLevel lvl, const char* fmt, ...) {
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  char line[1100];
+  const int n =
+      std::snprintf(line, sizeof(line), "[piom %s] %s\n", level_tag(lvl), msg);
+  if (n > 0) {
+    std::fwrite(line, 1, static_cast<std::size_t>(n), stderr);
+  }
+}
+
+}  // namespace piom::util

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Disabled by default so the fast paths stay quiet;
+// enable with PIOM_LOG=debug|info|warn|error in the environment.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace piom::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current level, parsed once from $PIOM_LOG (default: warn).
+[[nodiscard]] LogLevel log_level();
+
+/// True if a message at `lvl` would be emitted.
+[[nodiscard]] inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >= static_cast<int>(log_level());
+}
+
+/// printf-style logging; thread-safe (single write() per message).
+void log_emit(LogLevel lvl, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace piom::util
+
+#define PIOM_LOG_DEBUG(...)                                           \
+  do {                                                                \
+    if (piom::util::log_enabled(piom::util::LogLevel::kDebug))        \
+      piom::util::log_emit(piom::util::LogLevel::kDebug, __VA_ARGS__); \
+  } while (0)
+#define PIOM_LOG_INFO(...)                                            \
+  do {                                                                \
+    if (piom::util::log_enabled(piom::util::LogLevel::kInfo))         \
+      piom::util::log_emit(piom::util::LogLevel::kInfo, __VA_ARGS__);  \
+  } while (0)
+#define PIOM_LOG_WARN(...)                                            \
+  do {                                                                \
+    if (piom::util::log_enabled(piom::util::LogLevel::kWarn))         \
+      piom::util::log_emit(piom::util::LogLevel::kWarn, __VA_ARGS__);  \
+  } while (0)
+#define PIOM_LOG_ERROR(...)                                           \
+  do {                                                                \
+    if (piom::util::log_enabled(piom::util::LogLevel::kError))        \
+      piom::util::log_emit(piom::util::LogLevel::kError, __VA_ARGS__); \
+  } while (0)

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace piom::util {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p10 = quantile_sorted(sorted, 0.10);
+  s.p90 = quantile_sorted(sorted, 0.90);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  double var = 0;
+  for (double v : sorted) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(var / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::string format_si(double value, int width) {
+  char buf[64];
+  const double a = std::fabs(value);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", value / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  std::string out(buf);
+  while (static_cast<int>(out.size()) < width) out.insert(out.begin(), ' ');
+  return out;
+}
+
+}  // namespace piom::util

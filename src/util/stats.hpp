@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers for benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace piom::util {
+
+/// Summary of a sample of measurements.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double p10 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double stddev = 0;
+};
+
+/// Compute a Summary over `samples` (not required to be sorted; the input is
+/// copied so callers keep their data).
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// q-th quantile (q in [0,1]) by linear interpolation over a *sorted* vector.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
+                                     double q);
+
+/// Accumulates samples incrementally; cheap to reset between benchmark
+/// repetitions.
+class SampleSet {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void clear() { samples_.clear(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] Summary summary() const { return summarize(samples_); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Render "  123" / " 1.2k"-style human numbers for table output.
+[[nodiscard]] std::string format_si(double value, int width = 0);
+
+}  // namespace piom::util

@@ -1,0 +1,204 @@
+// Tests for the mini-MPI convenience layer: wildcard receives, sendrecv,
+// barrier, bcast, allreduce — across all three progress engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+namespace piom::mpi {
+namespace {
+
+WorldConfig fast_config(EngineKind kind) {
+  WorldConfig cfg;
+  cfg.engine = kind;
+  cfg.time_scale = 0.05;
+  cfg.pioman.workers = 2;
+  return cfg;
+}
+
+class CollectivesAllEngines : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(CollectivesAllEngines, AnyTagReceivesInArrivalOrder) {
+  World world(fast_config(GetParam()));
+  std::thread sender([&] {
+    const int32_t a = 11, b = 22;
+    world.comm(0).send(1, 5, &a, sizeof(a));
+    world.comm(0).send(1, 9, &b, sizeof(b));
+  });
+  int32_t v1 = 0, v2 = 0;
+  const Status s1 =
+      world.comm(1).recv_status(0, Comm::kAnyTag, &v1, sizeof(v1));
+  const Status s2 =
+      world.comm(1).recv_status(0, Comm::kAnyTag, &v2, sizeof(v2));
+  sender.join();
+  EXPECT_EQ(v1, 11);
+  EXPECT_EQ(s1.tag, 5u);
+  EXPECT_EQ(s1.bytes, sizeof(int32_t));
+  EXPECT_EQ(v2, 22);
+  EXPECT_EQ(s2.tag, 9u);
+}
+
+TEST_P(CollectivesAllEngines, RecvStatusReportsExactTagToo) {
+  World world(fast_config(GetParam()));
+  std::thread sender([&] { world.comm(0).send(1, 7, "hi", 3); });
+  char buf[8] = {};
+  const Status st = world.comm(1).recv_status(0, 7, buf, sizeof(buf));
+  sender.join();
+  EXPECT_EQ(st.tag, 7u);
+  EXPECT_EQ(st.bytes, 3u);
+  EXPECT_STREQ(buf, "hi");
+}
+
+TEST_P(CollectivesAllEngines, SendrecvBothDirectionsNoDeadlock) {
+  World world(fast_config(GetParam()));
+  int32_t got0 = 0, got1 = 0;
+  std::thread r1([&] {
+    const int32_t mine = 111;
+    world.comm(1).sendrecv(0, /*send_tag=*/2, &mine, sizeof(mine),
+                           /*recv_tag=*/1, &got1, sizeof(got1));
+  });
+  const int32_t mine = 222;
+  world.comm(0).sendrecv(1, 1, &mine, sizeof(mine), 2, &got0, sizeof(got0));
+  r1.join();
+  EXPECT_EQ(got0, 111);
+  EXPECT_EQ(got1, 222);
+}
+
+TEST_P(CollectivesAllEngines, BarrierSynchronizes) {
+  World world(fast_config(GetParam()));
+  std::atomic<int> phase{0};
+  std::thread r1([&] {
+    world.comm(1).barrier();
+    phase.fetch_add(1);
+    world.comm(1).barrier();
+  });
+  world.comm(0).barrier();
+  world.comm(0).barrier();
+  EXPECT_GE(phase.load(), 0);  // no deadlock is the main assertion
+  r1.join();
+  EXPECT_EQ(phase.load(), 1);
+}
+
+TEST_P(CollectivesAllEngines, BarrierRepeatedManyTimes) {
+  World world(fast_config(GetParam()));
+  constexpr int kRounds = 25;
+  std::atomic<int> counter{0};
+  std::thread r1([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      world.comm(1).barrier();
+      counter.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    world.comm(0).barrier();
+  }
+  r1.join();
+  EXPECT_EQ(counter.load(), kRounds);
+}
+
+TEST_P(CollectivesAllEngines, BcastFromBothRoots) {
+  World world(fast_config(GetParam()));
+  for (const int root : {0, 1}) {
+    std::vector<int64_t> data(64);
+    std::vector<int64_t> expect(64);
+    std::iota(expect.begin(), expect.end(), root * 1000);
+    std::thread r1([&] {
+      std::vector<int64_t> mine(64);
+      if (root == 1) std::iota(mine.begin(), mine.end(), 1000);
+      world.comm(1).bcast(mine.data(), mine.size() * sizeof(int64_t), root);
+      EXPECT_EQ(mine, expect);
+    });
+    if (root == 0) std::iota(data.begin(), data.end(), 0);
+    world.comm(0).bcast(data.data(), data.size() * sizeof(int64_t), root);
+    EXPECT_EQ(data, expect);
+    r1.join();
+  }
+}
+
+TEST_P(CollectivesAllEngines, AllreduceSumMaxMin) {
+  World world(fast_config(GetParam()));
+  std::vector<double> r0{1.0, 10.0, -5.0};
+  std::vector<double> r1v{2.0, -3.0, 8.0};
+  std::thread r1([&] {
+    std::vector<double> mine = r1v;
+    world.comm(1).allreduce(mine.data(), mine.size(), ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(mine[0], 3.0);
+    EXPECT_DOUBLE_EQ(mine[1], 7.0);
+    EXPECT_DOUBLE_EQ(mine[2], 3.0);
+  });
+  std::vector<double> mine = r0;
+  world.comm(0).allreduce(mine.data(), mine.size(), ReduceOp::kSum);
+  EXPECT_DOUBLE_EQ(mine[0], 3.0);
+  EXPECT_DOUBLE_EQ(mine[1], 7.0);
+  EXPECT_DOUBLE_EQ(mine[2], 3.0);
+  r1.join();
+
+  // Max / min with integers.
+  std::thread r1b([&] {
+    std::vector<int64_t> mine{5, -2};
+    world.comm(1).allreduce(mine.data(), mine.size(), ReduceOp::kMax);
+    EXPECT_EQ(mine[0], 7);
+    EXPECT_EQ(mine[1], -1);
+    std::vector<int64_t> mn{5, -2};
+    world.comm(1).allreduce(mn.data(), mn.size(), ReduceOp::kMin);
+    EXPECT_EQ(mn[0], 5);
+    EXPECT_EQ(mn[1], -2);
+  });
+  std::vector<int64_t> big{7, -1};
+  world.comm(0).allreduce(big.data(), big.size(), ReduceOp::kMax);
+  EXPECT_EQ(big[0], 7);
+  EXPECT_EQ(big[1], -1);
+  std::vector<int64_t> small{7, -1};
+  world.comm(0).allreduce(small.data(), small.size(), ReduceOp::kMin);
+  EXPECT_EQ(small[0], 5);
+  EXPECT_EQ(small[1], -2);
+  r1b.join();
+}
+
+TEST_P(CollectivesAllEngines, BcastRejectsBadRoot) {
+  World world(fast_config(GetParam()));
+  char b = 0;
+  EXPECT_THROW(world.comm(0).bcast(&b, 1, 2), std::invalid_argument);
+}
+
+TEST_P(CollectivesAllEngines, CollectivesComposeWithP2PTraffic) {
+  // Collectives use reserved tags: application messages with ordinary tags
+  // must not interfere.
+  World world(fast_config(GetParam()));
+  std::thread r1([&] {
+    int32_t v = 0;
+    world.comm(1).recv(0, 3, &v, sizeof(v));
+    world.comm(1).barrier();
+    int64_t sum = static_cast<int64_t>(v);
+    world.comm(1).allreduce(&sum, 1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 42 + 42);
+  });
+  const int32_t v = 42;
+  world.comm(0).send(1, 3, &v, sizeof(v));
+  world.comm(0).barrier();
+  int64_t sum = 42;
+  world.comm(0).allreduce(&sum, 1, ReduceOp::kSum);
+  EXPECT_EQ(sum, 84);
+  r1.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CollectivesAllEngines,
+                         ::testing::Values(EngineKind::kPioman,
+                                           EngineKind::kMvapichLike,
+                                           EngineKind::kOpenMpiLike),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kPioman: return "pioman";
+                             case EngineKind::kMvapichLike: return "mvapich";
+                             case EngineKind::kOpenMpiLike: return "openmpi";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace piom::mpi

@@ -1,0 +1,156 @@
+// Unit + property tests for topo::CpuSet.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "topo/cpuset.hpp"
+
+namespace piom::topo {
+namespace {
+
+TEST(CpuSet, DefaultIsEmpty) {
+  CpuSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.first(), -1);
+  EXPECT_EQ(s.to_string(), "");
+}
+
+TEST(CpuSet, SingleAndTest) {
+  const CpuSet s = CpuSet::single(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_TRUE(s.test(5));
+  EXPECT_FALSE(s.test(4));
+  EXPECT_FALSE(s.test(6));
+  EXPECT_EQ(s.first(), 5);
+  EXPECT_EQ(s.next(5), -1);
+}
+
+TEST(CpuSet, SetClearRoundTrip) {
+  CpuSet s;
+  s.set(0);
+  s.set(63);
+  s.set(64);
+  s.set(255);
+  EXPECT_EQ(s.count(), 4);
+  s.clear(63);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_FALSE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+}
+
+TEST(CpuSet, OutOfRangeThrows) {
+  CpuSet s;
+  EXPECT_THROW(s.set(-1), std::out_of_range);
+  EXPECT_THROW(s.set(CpuSet::kMaxCpus), std::out_of_range);
+  EXPECT_THROW(s.clear(-1), std::out_of_range);
+  // test() is a query; out-of-range is just "not a member".
+  EXPECT_FALSE(s.test(-1));
+  EXPECT_FALSE(s.test(CpuSet::kMaxCpus + 10));
+}
+
+TEST(CpuSet, RangeAndFirstN) {
+  const CpuSet r = CpuSet::range(3, 7);
+  EXPECT_EQ(r.count(), 4);
+  EXPECT_TRUE(r.test(3));
+  EXPECT_TRUE(r.test(6));
+  EXPECT_FALSE(r.test(7));
+  const CpuSet f = CpuSet::first_n(4);
+  EXPECT_EQ(f, CpuSet::range(0, 4));
+}
+
+TEST(CpuSet, IterationVisitsAllInOrder) {
+  CpuSet s;
+  s.set(2);
+  s.set(63);
+  s.set(64);
+  s.set(130);
+  std::vector<int> seen;
+  for (int c = s.first(); c >= 0; c = s.next(c)) seen.push_back(c);
+  EXPECT_EQ(seen, (std::vector<int>{2, 63, 64, 130}));
+}
+
+TEST(CpuSet, ContainsAndIntersects) {
+  const CpuSet big = CpuSet::range(0, 8);
+  const CpuSet small = CpuSet::range(2, 5);
+  const CpuSet other = CpuSet::range(8, 12);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+  EXPECT_TRUE(big.contains(CpuSet{}));  // empty set is in everything
+  EXPECT_TRUE(big.intersects(small));
+  EXPECT_FALSE(big.intersects(other));
+  EXPECT_FALSE(big.intersects(CpuSet{}));
+}
+
+TEST(CpuSet, BitwiseOps) {
+  const CpuSet a = CpuSet::range(0, 4);
+  const CpuSet b = CpuSet::range(2, 6);
+  EXPECT_EQ((a | b), CpuSet::range(0, 6));
+  EXPECT_EQ((a & b), CpuSet::range(2, 4));
+  const CpuSet nota = ~a;
+  EXPECT_FALSE(nota.test(0));
+  EXPECT_TRUE(nota.test(4));
+  EXPECT_EQ(nota.count(), CpuSet::kMaxCpus - 4);
+}
+
+TEST(CpuSet, ToStringRuns) {
+  CpuSet s;
+  s.set(0);
+  s.set(1);
+  s.set(2);
+  s.set(7);
+  s.set(12);
+  s.set(13);
+  EXPECT_EQ(s.to_string(), "0-2,7,12-13");
+}
+
+TEST(CpuSet, ParseBasics) {
+  EXPECT_EQ(CpuSet::parse("0-2,7,12-13").to_string(), "0-2,7,12-13");
+  EXPECT_EQ(CpuSet::parse("5"), CpuSet::single(5));
+  EXPECT_EQ(CpuSet::parse(""), CpuSet{});
+}
+
+TEST(CpuSet, ParseRejectsJunk) {
+  EXPECT_THROW(CpuSet::parse("abc"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("3-1"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1;2"), std::invalid_argument);
+}
+
+// Property: to_string/parse round-trips for random sets.
+TEST(CpuSetProperty, ParseToStringRoundTrip) {
+  std::mt19937 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    CpuSet s;
+    const int bits = static_cast<int>(rng() % 40);
+    for (int i = 0; i < bits; ++i) {
+      s.set(static_cast<int>(rng() % CpuSet::kMaxCpus));
+    }
+    EXPECT_EQ(CpuSet::parse(s.to_string()), s);
+  }
+}
+
+// Property: count() equals the number of iterated members; union/intersection
+// laws hold.
+TEST(CpuSetProperty, AlgebraLaws) {
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    CpuSet a, b;
+    for (int i = 0; i < 24; ++i) {
+      a.set(static_cast<int>(rng() % 128));
+      b.set(static_cast<int>(rng() % 128));
+    }
+    int iterated = 0;
+    for (int c = a.first(); c >= 0; c = a.next(c)) ++iterated;
+    EXPECT_EQ(iterated, a.count());
+    EXPECT_EQ(((a | b) & a), a);                    // absorption
+    EXPECT_TRUE((a | b).contains(a));
+    EXPECT_TRUE(a.contains(a & b));
+    EXPECT_EQ((a & b).count() + (a | b).count(), a.count() + b.count());
+  }
+}
+
+}  // namespace
+}  // namespace piom::topo

@@ -1,0 +1,460 @@
+// Tests for the nmad communication library: eager and rendezvous protocols,
+// tag matching (expected/unexpected), aggregation, multirail striping,
+// packet-wrapper recycling.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <deque>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "nmad/session.hpp"
+#include "simnet/fabric.hpp"
+#include "util/timing.hpp"
+
+namespace piom::nmad {
+namespace {
+
+/// Drive both sessions' progress until `pred` or timeout. Returns pred().
+template <typename Pred>
+bool progress_until(Session& sa, Session& sb, Pred&& pred,
+                    int64_t timeout_ns = 5'000'000'000) {
+  const int64_t deadline = util::now_ns() + timeout_ns;
+  while (util::now_ns() < deadline) {
+    sa.progress();
+    sb.progress();
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+struct NmadPair {
+  simnet::Fabric fabric;
+  Session sa;
+  Session sb;
+  Gate* ga = nullptr;
+  Gate* gb = nullptr;
+
+  explicit NmadPair(SessionConfig cfg = {}, int rails = 1,
+                    double time_scale = 0.05)
+      : fabric(time_scale), sa("A", cfg), sb("B", cfg) {
+    std::vector<simnet::Nic*> rails_a, rails_b;
+    for (int r = 0; r < rails; ++r) {
+      auto [na, nb] = fabric.create_link("rail" + std::to_string(r));
+      rails_a.push_back(na);
+      rails_b.push_back(nb);
+    }
+    ga = &sa.create_gate(rails_a);
+    gb = &sb.create_gate(rails_b);
+  }
+};
+
+TEST(NmadEager, BasicSendRecv) {
+  NmadPair p;
+  const std::string msg = "bonjour newmadeleine";
+  SendRequest sreq;
+  RecvRequest rreq;
+  char buf[64] = {};
+  p.gb->irecv(rreq, /*tag=*/3, buf, sizeof(buf));
+  p.ga->isend(sreq, 3, msg.data(), msg.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return sreq.completed() && rreq.completed();
+  }));
+  EXPECT_EQ(rreq.received, msg.size());
+  EXPECT_EQ(std::memcmp(buf, msg.data(), msg.size()), 0);
+  EXPECT_EQ(p.ga->stats().eager_sent, 1u);
+  EXPECT_EQ(p.gb->stats().eager_recv, 1u);
+}
+
+TEST(NmadEager, UnexpectedMessageMatchesLateRecv) {
+  NmadPair p;
+  const std::string msg = "early";
+  SendRequest sreq;
+  p.ga->isend(sreq, 5, msg.data(), msg.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager == 1;
+  }));
+  char buf[16] = {};
+  RecvRequest rreq;
+  p.gb->irecv(rreq, 5, buf, sizeof(buf));  // matches the stored arrival
+  EXPECT_TRUE(rreq.completed());
+  EXPECT_EQ(rreq.received, msg.size());
+  EXPECT_EQ(std::memcmp(buf, "early", 5), 0);
+}
+
+TEST(NmadEager, TagsAreMatchedIndependently) {
+  NmadPair p;
+  char buf7[8] = {}, buf9[8] = {};
+  RecvRequest r7, r9;
+  p.gb->irecv(r7, 7, buf7, sizeof(buf7));
+  p.gb->irecv(r9, 9, buf9, sizeof(buf9));
+  SendRequest s9, s7;
+  p.ga->isend(s9, 9, "nine", 5);  // send tag 9 first
+  p.ga->isend(s7, 7, "seven", 6);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return r7.completed() && r9.completed();
+  }));
+  EXPECT_STREQ(buf7, "seven");
+  EXPECT_STREQ(buf9, "nine");
+}
+
+TEST(NmadEager, SameTagMatchesInSeqOrder) {
+  NmadPair p;
+  // Two unexpected messages, same tag: the late irecvs must drain them in
+  // send order (lowest sequence first).
+  SendRequest s1, s2;
+  p.ga->isend(s1, 4, "first", 6);
+  p.ga->isend(s2, 4, "second", 7);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager == 2;
+  }));
+  char b1[8] = {}, b2[8] = {};
+  RecvRequest r1, r2;
+  p.gb->irecv(r1, 4, b1, sizeof(b1));
+  p.gb->irecv(r2, 4, b2, sizeof(b2));
+  EXPECT_TRUE(r1.completed());
+  EXPECT_TRUE(r2.completed());
+  EXPECT_STREQ(b1, "first");
+  EXPECT_STREQ(b2, "second");
+  EXPECT_LT(r1.matched_seq, r2.matched_seq);
+}
+
+TEST(NmadEager, ZeroLengthMessage) {
+  NmadPair p;
+  SendRequest sreq;
+  RecvRequest rreq;
+  p.gb->irecv(rreq, 1, nullptr, 0);
+  p.ga->isend(sreq, 1, nullptr, 0);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return rreq.completed(); }));
+  EXPECT_EQ(rreq.received, 0u);
+}
+
+TEST(NmadRdv, LargeMessageUsesRendezvous) {
+  NmadPair p;
+  std::vector<uint8_t> data(512 * 1024);
+  std::iota(data.begin(), data.end(), 1);
+  std::vector<uint8_t> out(data.size(), 0);
+  SendRequest sreq;
+  RecvRequest rreq;
+  p.gb->irecv(rreq, 11, out.data(), out.size());
+  p.ga->isend(sreq, 11, data.data(), data.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return sreq.completed() && rreq.completed();
+  }));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(p.ga->stats().rdv_sent, 1u);
+  EXPECT_EQ(p.gb->stats().rdv_recv, 1u);
+  EXPECT_EQ(p.ga->stats().eager_sent, 0u);
+  // The data itself moved by RDMA-Read, served by the sender-side NIC.
+  EXPECT_GE(p.ga->rail_nic(0).stats().rdma_reads_served, 1u);
+}
+
+TEST(NmadRdv, UnexpectedRtsMatchesLateRecv) {
+  NmadPair p;
+  std::vector<uint8_t> data(128 * 1024, 0x5A);
+  SendRequest sreq;
+  p.ga->isend(sreq, 2, data.data(), data.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_rts == 1;
+  }));
+  EXPECT_FALSE(sreq.completed());  // no receiver yet: FIN cannot exist
+  std::vector<uint8_t> out(data.size(), 0);
+  RecvRequest rreq;
+  p.gb->irecv(rreq, 2, out.data(), out.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return sreq.completed() && rreq.completed();
+  }));
+  EXPECT_EQ(out, data);
+}
+
+TEST(NmadRdv, EagerAndRdvSameTagRespectSeqOrder) {
+  NmadPair p;
+  std::vector<uint8_t> big(64 * 1024, 0xCC);
+  SendRequest s_small, s_big;
+  p.ga->isend(s_small, 6, "tiny", 5);      // seq N   (eager)
+  p.ga->isend(s_big, 6, big.data(), big.size());  // seq N+1 (rdv)
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager == 1 &&
+           p.gb->stats().unexpected_rts == 1;
+  }));
+  // First irecv must take the *eager* one (lower seq), not the rdv.
+  char small_buf[8] = {};
+  RecvRequest r1;
+  p.gb->irecv(r1, 6, small_buf, sizeof(small_buf));
+  EXPECT_TRUE(r1.completed());
+  EXPECT_STREQ(small_buf, "tiny");
+  std::vector<uint8_t> big_out(big.size(), 0);
+  RecvRequest r2;
+  p.gb->irecv(r2, 6, big_out.data(), big_out.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r2.completed(); }));
+  EXPECT_EQ(big_out, big);
+}
+
+TEST(NmadAggreg, PendingSmallSendsArePacked) {
+  SessionConfig cfg;
+  cfg.strategy.aggregation = true;
+  NmadPair p(cfg);
+  constexpr int kMsgs = 8;
+  std::vector<std::string> payloads;
+  std::deque<SendRequest> sreqs(kMsgs);
+  std::deque<RecvRequest> rreqs(kMsgs);
+  std::vector<std::array<char, 32>> bufs(kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    payloads.push_back("payload-" + std::to_string(i));
+    p.gb->irecv(rreqs[static_cast<std::size_t>(i)], static_cast<Tag>(i),
+                bufs[static_cast<std::size_t>(i)].data(), 32);
+  }
+  // Defer: all sends join the pending queue, then one flush packs them.
+  for (int i = 0; i < kMsgs; ++i) {
+    p.ga->isend(sreqs[static_cast<std::size_t>(i)], static_cast<Tag>(i),
+                payloads[static_cast<std::size_t>(i)].data(),
+                payloads[static_cast<std::size_t>(i)].size() + 1,
+                /*defer=*/true);
+  }
+  EXPECT_EQ(p.ga->pending_sends(), static_cast<std::size_t>(kMsgs));
+  p.ga->flush();
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    for (const auto& r : rreqs) {
+      if (!r.completed()) return false;
+    }
+    return true;
+  }));
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_STREQ(bufs[static_cast<std::size_t>(i)].data(),
+                 payloads[static_cast<std::size_t>(i)].c_str());
+  }
+  const GateStats gs = p.ga->stats();
+  EXPECT_GE(gs.packs_sent, 1u);
+  EXPECT_EQ(gs.msgs_packed, static_cast<uint64_t>(kMsgs));
+  // Fig 1's point: fewer wire packets than messages.
+  EXPECT_LT(p.ga->rail_nic(0).stats().packets_tx,
+            static_cast<uint64_t>(kMsgs));
+}
+
+TEST(NmadAggreg, NoAggregationSendsOnePacketPerMessage) {
+  NmadPair p;  // aggregation off by default
+  constexpr int kMsgs = 6;
+  std::deque<SendRequest> sreqs(kMsgs);
+  std::deque<RecvRequest> rreqs(kMsgs);
+  std::vector<std::array<char, 16>> bufs(kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    p.gb->irecv(rreqs[static_cast<std::size_t>(i)], static_cast<Tag>(i),
+                bufs[static_cast<std::size_t>(i)].data(), 16);
+    p.ga->isend(sreqs[static_cast<std::size_t>(i)], static_cast<Tag>(i), "x",
+                2, /*defer=*/true);
+  }
+  p.ga->flush();
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    for (const auto& r : rreqs) {
+      if (!r.completed()) return false;
+    }
+    return true;
+  }));
+  EXPECT_EQ(p.ga->stats().packs_sent, 0u);
+  EXPECT_EQ(p.ga->rail_nic(0).stats().packets_tx,
+            static_cast<uint64_t>(kMsgs));
+}
+
+TEST(NmadMultirail, RdvStripesAcrossRails) {
+  SessionConfig cfg;
+  cfg.strategy.multirail_stripe = true;
+  cfg.strategy.stripe_min_chunk = 16 * 1024;
+  NmadPair p(cfg, /*rails=*/2);
+  std::vector<uint8_t> data(1 << 20);
+  std::mt19937 rng(99);
+  for (auto& b : data) b = static_cast<uint8_t>(rng());
+  std::vector<uint8_t> out(data.size(), 0);
+  SendRequest sreq;
+  RecvRequest rreq;
+  p.gb->irecv(rreq, 8, out.data(), out.size());
+  p.ga->isend(sreq, 8, data.data(), data.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return sreq.completed() && rreq.completed();
+  }));
+  EXPECT_EQ(out, data);
+  // Both sender-side rail NICs served RDMA reads: the stripe really split.
+  EXPECT_GE(p.ga->rail_nic(0).stats().rdma_reads_served, 1u);
+  EXPECT_GE(p.ga->rail_nic(1).stats().rdma_reads_served, 1u);
+}
+
+TEST(NmadPool, PacketWrappersAreRecycled) {
+  NmadPair p;
+  char buf[32] = {};
+  for (int i = 0; i < 50; ++i) {
+    SendRequest sreq;
+    RecvRequest rreq;
+    p.gb->irecv(rreq, 1, buf, sizeof(buf));
+    p.ga->isend(sreq, 1, "ping", 5);
+    ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+      return sreq.completed() && rreq.completed();
+    }));
+  }
+  // Steady-state: wrapper allocations must be far below the message count.
+  EXPECT_LE(p.ga->pw_allocated(), 8u);
+}
+
+TEST(NmadStress, ManyMessagesBothDirectionsManyTags) {
+  NmadPair p;
+  constexpr int kMsgs = 200;
+  std::deque<SendRequest> sa(kMsgs), sb(kMsgs);
+  std::deque<RecvRequest> ra(kMsgs), rb(kMsgs);
+  std::vector<std::array<char, 16>> bufs_a(kMsgs), bufs_b(kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    const Tag tag = static_cast<Tag>(i % 17);
+    p.gb->irecv(rb[static_cast<std::size_t>(i)], tag,
+                bufs_b[static_cast<std::size_t>(i)].data(), 16);
+    p.ga->irecv(ra[static_cast<std::size_t>(i)], tag,
+                bufs_a[static_cast<std::size_t>(i)].data(), 16);
+  }
+  for (int i = 0; i < kMsgs; ++i) {
+    const Tag tag = static_cast<Tag>(i % 17);
+    p.ga->isend(sa[static_cast<std::size_t>(i)], tag, "fromA", 6);
+    p.gb->isend(sb[static_cast<std::size_t>(i)], tag, "fromB", 6);
+  }
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      if (!ra[static_cast<std::size_t>(i)].completed() ||
+          !rb[static_cast<std::size_t>(i)].completed()) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_STREQ(bufs_a[static_cast<std::size_t>(i)].data(), "fromB");
+    EXPECT_STREQ(bufs_b[static_cast<std::size_t>(i)].data(), "fromA");
+  }
+}
+
+TEST(NmadConfig, RejectsOversizedThresholds) {
+  SessionConfig cfg;
+  cfg.eager_threshold = kPoolBufSize;  // + header would overflow the buffer
+  EXPECT_THROW(Session("bad", cfg), std::invalid_argument);
+  SessionConfig cfg2;
+  cfg2.pool_bufs_per_rail = 0;
+  EXPECT_THROW(Session("bad2", cfg2), std::invalid_argument);
+}
+
+TEST(NmadConfig, GateRequiresConnectedRails) {
+  simnet::Fabric fabric(0.05);
+  simnet::Nic& lonely = fabric.create_nic("lonely");
+  Session s("s");
+  EXPECT_THROW(s.create_gate({}), std::invalid_argument);
+  EXPECT_THROW(s.create_gate({&lonely}), std::invalid_argument);
+}
+
+
+TEST(NmadWildcard, AnyTagMatchesExpected) {
+  NmadPair p;
+  char buf[16] = {};
+  RecvRequest rreq;
+  p.gb->irecv(rreq, kAnyTag, buf, sizeof(buf));
+  SendRequest sreq;
+  p.ga->isend(sreq, /*tag=*/1234, "wild", 5);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return rreq.completed(); }));
+  EXPECT_STREQ(buf, "wild");
+  EXPECT_EQ(rreq.matched_tag, 1234u);
+}
+
+TEST(NmadWildcard, AnyTagDrainsUnexpectedInSeqOrder) {
+  NmadPair p;
+  SendRequest s1, s2, s3;
+  p.ga->isend(s1, 5, "one", 4);
+  p.ga->isend(s2, 99, "two", 4);
+  p.ga->isend(s3, 5, "tri", 4);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager == 3;
+  }));
+  char b1[8] = {}, b2[8] = {}, b3[8] = {};
+  RecvRequest r1, r2, r3;
+  p.gb->irecv(r1, kAnyTag, b1, sizeof(b1));
+  p.gb->irecv(r2, kAnyTag, b2, sizeof(b2));
+  p.gb->irecv(r3, kAnyTag, b3, sizeof(b3));
+  EXPECT_TRUE(r1.completed());
+  EXPECT_TRUE(r2.completed());
+  EXPECT_TRUE(r3.completed());
+  // Wildcards drain in arrival (sequence) order across tags.
+  EXPECT_STREQ(b1, "one");
+  EXPECT_STREQ(b2, "two");
+  EXPECT_STREQ(b3, "tri");
+  EXPECT_EQ(r1.matched_tag, 5u);
+  EXPECT_EQ(r2.matched_tag, 99u);
+  EXPECT_EQ(r3.matched_tag, 5u);
+}
+
+TEST(NmadWildcard, AnyTagMatchesRendezvousToo) {
+  NmadPair p;
+  std::vector<uint8_t> data(64 * 1024, 0x3A);
+  std::vector<uint8_t> out(data.size(), 0);
+  RecvRequest rreq;
+  p.gb->irecv(rreq, kAnyTag, out.data(), out.size());
+  SendRequest sreq;
+  p.ga->isend(sreq, 77, data.data(), data.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return sreq.completed() && rreq.completed();
+  }));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(rreq.matched_tag, 77u);
+}
+
+TEST(NmadWildcard, ExactTagRecvStillMatchesFirstEligible) {
+  NmadPair p;
+  // Post an exact-tag recv and a wildcard; an arrival with that tag goes to
+  // whichever was posted first (FIFO over eligible recvs).
+  char exact_buf[8] = {}, any_buf[8] = {};
+  RecvRequest exact, any;
+  p.gb->irecv(exact, 4, exact_buf, sizeof(exact_buf));
+  p.gb->irecv(any, kAnyTag, any_buf, sizeof(any_buf));
+  SendRequest s;
+  p.ga->isend(s, 4, "hit", 4);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return exact.completed(); }));
+  EXPECT_STREQ(exact_buf, "hit");
+  EXPECT_FALSE(any.completed());
+  // Satisfy the wildcard so teardown sees no pending recv.
+  SendRequest s2;
+  p.ga->isend(s2, 123, "bye", 4);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return any.completed(); }));
+  EXPECT_STREQ(any_buf, "bye");
+}
+
+/// Parameterized sweep across the eager/rendezvous boundary: the protocol
+/// must be transparent to the payload size.
+class NmadSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NmadSizeSweep, RoundTripsIntact) {
+  const std::size_t size = GetParam();
+  NmadPair p;
+  std::vector<uint8_t> data(size);
+  std::mt19937 rng(static_cast<unsigned>(size) + 1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng());
+  std::vector<uint8_t> out(size, 0);
+  SendRequest sreq;
+  RecvRequest rreq;
+  p.gb->irecv(rreq, 1, out.data(), out.size());
+  p.ga->isend(sreq, 1, data.data(), data.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return sreq.completed() && rreq.completed();
+  }));
+  EXPECT_EQ(rreq.received, size);
+  EXPECT_EQ(out, data);
+  // Protocol selection: at most the threshold goes eager.
+  const GateStats gs = p.ga->stats();
+  if (size <= kDefaultEagerThreshold) {
+    EXPECT_EQ(gs.eager_sent, 1u);
+    EXPECT_EQ(gs.rdv_sent, 0u);
+  } else {
+    EXPECT_EQ(gs.eager_sent, 0u);
+    EXPECT_EQ(gs.rdv_sent, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NmadSizeSweep,
+    ::testing::Values(1u, 7u, 64u, 1024u, 16 * 1024u - 1, 16 * 1024u,
+                      16 * 1024u + 1, 64 * 1024u, 1u << 20),
+    [](const auto& info) { return "b" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace piom::nmad

@@ -1,0 +1,251 @@
+// Tests for the simulated fabric: message delivery, FIFO matching, staging
+// of unexpected arrivals, RDMA-Read zero-host-CPU semantics, cost model.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <thread>
+#include <numeric>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "util/timing.hpp"
+
+namespace piom::simnet {
+namespace {
+
+/// Spin until a TX/RX completion shows up (bounded).
+template <typename PollFn>
+bool poll_until(PollFn&& poll, Completion& out, int64_t timeout_ns = 2'000'000'000) {
+  const int64_t deadline = util::now_ns() + timeout_ns;
+  while (util::now_ns() < deadline) {
+    if (poll(out)) return true;
+  }
+  return false;
+}
+
+class SimnetTest : public ::testing::Test {
+ protected:
+  SimnetTest() : fabric_(0.05) {  // 20x faster than real time: quick tests
+    auto [a, b] = fabric_.create_link("test");
+    a_ = a;
+    b_ = b;
+  }
+  Fabric fabric_;
+  Nic* a_ = nullptr;
+  Nic* b_ = nullptr;
+};
+
+TEST_F(SimnetTest, SendMatchesPostedRecv) {
+  const char msg[] = "hello fabric";
+  char rxbuf[64] = {};
+  b_->post_recv(rxbuf, sizeof(rxbuf), 42);
+  a_->post_send(msg, sizeof(msg), 7);
+
+  Completion tx{}, rx{};
+  ASSERT_TRUE(poll_until([&](Completion& c) { return a_->poll_tx(c); }, tx));
+  EXPECT_EQ(tx.kind, Completion::Kind::kSend);
+  EXPECT_EQ(tx.wrid, 7u);
+  EXPECT_EQ(tx.bytes, sizeof(msg));
+
+  ASSERT_TRUE(poll_until([&](Completion& c) { return b_->poll_rx(c); }, rx));
+  EXPECT_EQ(rx.kind, Completion::Kind::kRecv);
+  EXPECT_EQ(rx.wrid, 42u);
+  EXPECT_EQ(rx.bytes, sizeof(msg));
+  EXPECT_STREQ(rxbuf, "hello fabric");
+}
+
+TEST_F(SimnetTest, UnexpectedArrivalIsStagedUntilRecvPosted) {
+  const char msg[] = "early bird";
+  a_->post_send(msg, sizeof(msg), 1);
+  Completion tx{};
+  ASSERT_TRUE(poll_until([&](Completion& c) { return a_->poll_tx(c); }, tx));
+  // The message has fully arrived; nobody posted a buffer. Post now:
+  char rxbuf[64] = {};
+  b_->post_recv(rxbuf, sizeof(rxbuf), 9);
+  Completion rx{};
+  ASSERT_TRUE(poll_until([&](Completion& c) { return b_->poll_rx(c); }, rx));
+  EXPECT_EQ(rx.wrid, 9u);
+  EXPECT_STREQ(rxbuf, "early bird");
+}
+
+TEST_F(SimnetTest, FifoMatchingAcrossSeveralMessages) {
+  std::vector<std::array<char, 16>> rxbufs(4);
+  for (int i = 0; i < 4; ++i) {
+    b_->post_recv(rxbufs[static_cast<std::size_t>(i)].data(), 16,
+                  static_cast<uint64_t>(100 + i));
+  }
+  const char* msgs[] = {"m0", "m1", "m2", "m3"};
+  for (int i = 0; i < 4; ++i) {
+    a_->post_send(msgs[i], 3, static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Completion rx{};
+    ASSERT_TRUE(poll_until([&](Completion& c) { return b_->poll_rx(c); }, rx));
+    // FIFO: arrival i lands in buffer i.
+    EXPECT_EQ(rx.wrid, static_cast<uint64_t>(100 + i));
+    EXPECT_STREQ(rxbufs[static_cast<std::size_t>(i)].data(), msgs[i]);
+  }
+}
+
+TEST_F(SimnetTest, TruncationToRecvCapacity) {
+  const char msg[] = "0123456789";
+  char small[4] = {};
+  b_->post_recv(small, sizeof(small), 5);
+  a_->post_send(msg, sizeof(msg), 6);
+  Completion rx{};
+  ASSERT_TRUE(poll_until([&](Completion& c) { return b_->poll_rx(c); }, rx));
+  EXPECT_EQ(rx.bytes, sizeof(small));
+  EXPECT_EQ(std::memcmp(small, "0123", 4), 0);
+}
+
+TEST_F(SimnetTest, RdmaReadPullsRemoteMemoryWithoutHostCode) {
+  // Host code on side A never runs anything after exposing the buffer: the
+  // pull is served by the engine threads alone.
+  std::vector<uint8_t> remote(256 * 1024);
+  std::iota(remote.begin(), remote.end(), 0);
+  std::vector<uint8_t> local(remote.size(), 0);
+  b_->post_rdma_read(local.data(), remote.data(), remote.size(), 77);
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& cc) { return b_->poll_tx(cc); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kRdmaRead);
+  EXPECT_EQ(c.wrid, 77u);
+  EXPECT_EQ(c.bytes, remote.size());
+  EXPECT_EQ(local, remote);
+  EXPECT_EQ(a_->stats().rdma_reads_served, 1u);
+}
+
+TEST_F(SimnetTest, StatsCountTraffic) {
+  char buf[32] = {};
+  b_->post_recv(buf, sizeof(buf), 1);
+  a_->post_send("abc", 4, 2);
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& cc) { return a_->poll_tx(cc); }, c));
+  ASSERT_TRUE(poll_until([&](Completion& cc) { return b_->poll_rx(cc); }, c));
+  EXPECT_EQ(a_->stats().packets_tx, 1u);
+  EXPECT_EQ(a_->stats().bytes_tx, 4u);
+  EXPECT_EQ(b_->stats().packets_rx, 1u);
+  EXPECT_EQ(b_->stats().bytes_rx, 4u);
+}
+
+TEST_F(SimnetTest, UnconnectedNicRejectsPosts) {
+  Nic& lonely = fabric_.create_nic("lonely");
+  EXPECT_THROW(lonely.post_send("x", 1, 0), std::logic_error);
+  char b = 0;
+  EXPECT_THROW(lonely.post_rdma_read(&b, &b, 1, 0), std::logic_error);
+}
+
+TEST_F(SimnetTest, ConnectRejectsReuseAndSelf) {
+  Nic& c = fabric_.create_nic("c");
+  EXPECT_THROW(Fabric::connect(*a_, c), std::logic_error);
+  EXPECT_THROW(Fabric::connect(c, c), std::invalid_argument);
+}
+
+TEST(LinkModel, CostsScaleWithSize) {
+  LinkModel m;  // 1.5us latency, 1.25 GB/s, 0.3us overhead
+  EXPECT_EQ(m.occupancy_ns(0), 0);
+  // 1.25 GB/s == 1.25 bytes/ns -> 1 MB takes 800k ns.
+  EXPECT_NEAR(static_cast<double>(m.occupancy_ns(1 << 20)), 1048576 / 1.25, 2.0);
+  EXPECT_EQ(m.transfer_ns(0), 1800);
+  EXPECT_GT(m.transfer_ns(4096), m.transfer_ns(64));
+  EXPECT_EQ(m.rtt_ns(), 2 * m.transfer_ns(0));
+}
+
+TEST(LinkModel, TransferTimeObservedOnWire) {
+  // With time_scale=1 a 1 MB transfer at 1.25 GB/s must take >= ~0.8 ms.
+  Fabric fabric(1.0);
+  auto [a, b] = fabric.create_link("timed");
+  std::vector<uint8_t> payload(1 << 20, 0xAB);
+  std::vector<uint8_t> rx(payload.size());
+  b->post_recv(rx.data(), rx.size(), 1);
+  const int64_t t0 = util::now_ns();
+  a->post_send(payload.data(), payload.size(), 2);
+  Completion c{};
+  const int64_t deadline = util::now_ns() + 3'000'000'000;
+  while (!b->poll_rx(c) && util::now_ns() < deadline) {
+  }
+  const int64_t elapsed = util::now_ns() - t0;
+  EXPECT_EQ(c.wrid, 1u);
+  EXPECT_GE(elapsed, 800'000);  // >= 0.8 ms serialisation
+  EXPECT_LT(elapsed, 100'000'000);
+}
+
+
+/// Parameterized sweep: payload integrity for both transfer mechanisms at
+/// sizes spanning 1 B to 4 MB.
+class SimnetSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimnetSizeSweep, SendDeliversExactBytes) {
+  Fabric fabric(0.02);
+  auto [a, b] = fabric.create_link("sweep");
+  const std::size_t size = GetParam();
+  std::vector<uint8_t> data(size);
+  for (std::size_t i = 0; i < size; ++i) data[i] = static_cast<uint8_t>(i * 7);
+  std::vector<uint8_t> out(size, 0);
+  b->post_recv(out.data(), out.size(), 1);
+  a->post_send(data.data(), data.size(), 2);
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& cc) { return b->poll_rx(cc); }, c));
+  EXPECT_EQ(c.bytes, size);
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(SimnetSizeSweep, RdmaReadDeliversExactBytes) {
+  Fabric fabric(0.02);
+  auto [a, b] = fabric.create_link("sweep");
+  (void)a;
+  const std::size_t size = GetParam();
+  std::vector<uint8_t> remote(size);
+  for (std::size_t i = 0; i < size; ++i) remote[i] = static_cast<uint8_t>(i);
+  std::vector<uint8_t> local(size, 0);
+  b->post_rdma_read(local.data(), remote.data(), size, 3);
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& cc) { return b->poll_tx(cc); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kRdmaRead);
+  EXPECT_EQ(c.bytes, size);
+  EXPECT_EQ(local, remote);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SimnetSizeSweep,
+    ::testing::Values(1u, 32u, 4096u, 65536u, 1u << 20, 4u << 20),
+    [](const auto& info) { return "b" + std::to_string(info.param); });
+
+TEST(SimnetConcurrency, ManyPostersOneNic) {
+  // post_send/post_recv are documented thread-safe: hammer them.
+  Fabric fabric(0.01);
+  auto [a, b] = fabric.create_link("mt");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::array<char, 8>> rx(kThreads * kPerThread);
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    b->post_recv(rx[i].data(), 8, i);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      char payload[8];
+      std::snprintf(payload, sizeof(payload), "t%d", t);
+      for (int i = 0; i < kPerThread; ++i) {
+        a->post_send(payload, 8, static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  a->quiesce();
+  int rx_seen = 0;
+  Completion c{};
+  while (b->poll_rx(c)) ++rx_seen;
+  EXPECT_EQ(rx_seen, kThreads * kPerThread);
+  int tx_seen = 0;
+  while (a->poll_tx(c)) ++tx_seen;
+  EXPECT_EQ(tx_seen, kThreads * kPerThread);
+}
+
+TEST(FabricConfig, RejectsBadTimeScale) {
+  EXPECT_THROW(Fabric(-1.0), std::invalid_argument);
+  EXPECT_THROW(Fabric(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace piom::simnet

@@ -1,0 +1,133 @@
+// Unit + property tests for the strategy layer (aggregation decisions,
+// multirail striping).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "nmad/strategy.hpp"
+
+namespace piom::nmad {
+namespace {
+
+TEST(Strategy, SingleRailNeverStripes) {
+  Strategy s({});
+  const auto chunks = s.stripe(10 << 20, {1.25});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].rail, 0);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[0].len, std::size_t{10 << 20});
+}
+
+TEST(Strategy, SmallMessagesStayOnOneRail) {
+  StrategyConfig cfg;
+  cfg.stripe_min_chunk = 64 * 1024;
+  Strategy s(cfg);
+  // Below 2x the min chunk: splitting would only add per-packet overhead.
+  const auto chunks = s.stripe(100 * 1024, {1.25, 1.25});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].len, std::size_t{100 * 1024});
+}
+
+TEST(Strategy, EqualRailsSplitEvenly) {
+  StrategyConfig cfg;
+  cfg.stripe_min_chunk = 64 * 1024;
+  Strategy s(cfg);
+  const auto chunks = s.stripe(1 << 20, {1.25, 1.25});
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(chunks[0].len),
+              static_cast<double>(chunks[1].len), 1.0);
+}
+
+TEST(Strategy, BandwidthProportionalSplit) {
+  StrategyConfig cfg;
+  cfg.stripe_min_chunk = 4 * 1024;
+  Strategy s(cfg);
+  // 1 : 3 bandwidth ratio -> 25% / 75% split.
+  const auto chunks = s.stripe(1 << 20, {1.0, 3.0});
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(chunks[0].len), (1 << 20) * 0.25,
+              (1 << 20) * 0.02);
+  EXPECT_NEAR(static_cast<double>(chunks[1].len), (1 << 20) * 0.75,
+              (1 << 20) * 0.02);
+}
+
+TEST(Strategy, StripingDisabledUsesRailZero) {
+  StrategyConfig cfg;
+  cfg.multirail_stripe = false;
+  Strategy s(cfg);
+  const auto chunks = s.stripe(10 << 20, {1.25, 1.25, 1.25});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].rail, 0);
+}
+
+// Property: for random sizes and rail sets, the chunks always partition
+// [0, len) exactly, never overlap, are rail-sorted, and each non-final chunk
+// respects the minimum chunk size.
+TEST(StrategyProperty, StripeAlwaysCoversExactly) {
+  std::mt19937 rng(2024);
+  StrategyConfig cfg;
+  cfg.stripe_min_chunk = 16 * 1024;
+  Strategy s(cfg);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t len = rng() % (8u << 20);
+    const int nrails = 1 + static_cast<int>(rng() % 4);
+    std::vector<double> bw;
+    for (int r = 0; r < nrails; ++r) {
+      bw.push_back(0.5 + static_cast<double>(rng() % 100) / 10.0);
+    }
+    const auto chunks = s.stripe(len, bw);
+    ASSERT_FALSE(chunks.empty());
+    std::size_t expected_offset = 0;
+    int last_rail = -1;
+    for (const StripeChunk& c : chunks) {
+      EXPECT_EQ(c.offset, expected_offset) << "gap or overlap";
+      EXPECT_GT(c.rail, last_rail) << "rails must be strictly increasing";
+      EXPECT_LT(c.rail, nrails);
+      last_rail = c.rail;
+      expected_offset += c.len;
+    }
+    EXPECT_EQ(expected_offset, len) << "chunks must cover the whole message";
+    if (chunks.size() > 1) {
+      for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+        EXPECT_GE(chunks[i].len, cfg.stripe_min_chunk);
+      }
+    }
+  }
+}
+
+TEST(Strategy, ShouldPackRespectsLimits) {
+  StrategyConfig cfg;
+  cfg.aggregation = true;
+  cfg.max_pack_msgs = 4;
+  cfg.max_pack_bytes = 1024;
+  Strategy s(cfg);
+  EXPECT_FALSE(s.should_pack(1, 100));   // a single message is not a pack
+  EXPECT_TRUE(s.should_pack(2, 100));
+  EXPECT_TRUE(s.should_pack(4, 1024));
+  EXPECT_FALSE(s.should_pack(5, 100));   // too many messages
+  EXPECT_FALSE(s.should_pack(2, 2048));  // too many bytes
+}
+
+TEST(Strategy, ShouldPackOffWithoutAggregation) {
+  Strategy s({});  // aggregation defaults to off
+  EXPECT_FALSE(s.should_pack(8, 100));
+}
+
+TEST(Strategy, EagerRailRoundRobin) {
+  StrategyConfig cfg;
+  cfg.eager_round_robin = true;
+  Strategy s(cfg);
+  std::vector<int> seen;
+  for (int i = 0; i < 6; ++i) seen.push_back(s.select_eager_rail(3));
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+  // Single rail: always 0 even with round-robin on.
+  EXPECT_EQ(s.select_eager_rail(1), 0);
+}
+
+TEST(Strategy, EagerRailDefaultIsZero) {
+  Strategy s({});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(s.select_eager_rail(4), 0);
+}
+
+}  // namespace
+}  // namespace piom::nmad

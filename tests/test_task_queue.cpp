@@ -1,0 +1,210 @@
+// Tests for the queue implementations: FIFO semantics, Algorithm 2's
+// lock-avoidance, lock-free correctness under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "core/lf_queue.hpp"
+#include "core/task_queue.hpp"
+
+namespace piom {
+namespace {
+
+TaskResult nop(void*) { return TaskResult::kDone; }
+
+std::unique_ptr<ITaskQueue> make_queue(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<SpinTaskQueue>();
+    case 1: return std::make_unique<TicketTaskQueue>();
+    case 2: return std::make_unique<MutexTaskQueue>();
+    case 3: return std::make_unique<LockFreeTaskQueue>();
+    default: return nullptr;
+  }
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "spin";
+    case 1: return "ticket";
+    case 2: return "mutex";
+    case 3: return "lockfree";
+    default: return "?";
+  }
+}
+
+class TaskQueueAll : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskQueueAll, EmptyDequeueReturnsNull) {
+  auto q = make_queue(GetParam());
+  EXPECT_EQ(q->try_dequeue(), nullptr);
+  EXPECT_EQ(q->size_approx(), 0u);
+}
+
+TEST_P(TaskQueueAll, SingleElementRoundTrip) {
+  auto q = make_queue(GetParam());
+  Task t;
+  t.init(&nop, nullptr, {}, kTaskNone);
+  t.state.store(TaskState::kQueued);
+  q->enqueue(&t);
+  EXPECT_EQ(q->size_approx(), 1u);
+  EXPECT_EQ(q->try_dequeue(), &t);
+  EXPECT_EQ(q->try_dequeue(), nullptr);
+  EXPECT_EQ(q->size_approx(), 0u);
+}
+
+TEST_P(TaskQueueAll, DrainsAllElements) {
+  auto q = make_queue(GetParam());
+  constexpr int kN = 100;
+  std::deque<Task> tasks(kN);
+  for (auto& t : tasks) {
+    t.init(&nop, nullptr, {}, kTaskNone);
+    t.state.store(TaskState::kQueued);
+    q->enqueue(&t);
+  }
+  EXPECT_EQ(q->size_approx(), static_cast<std::size_t>(kN));
+  std::set<Task*> seen;
+  for (int i = 0; i < kN; ++i) {
+    Task* t = q->try_dequeue();
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate dequeue";
+  }
+  EXPECT_EQ(q->try_dequeue(), nullptr);
+}
+
+TEST_P(TaskQueueAll, ConcurrentEnqueueDequeueLosesNothing) {
+  auto q = make_queue(GetParam());
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 10'000;
+  std::deque<std::deque<Task>> tasks(kProducers);
+  for (auto& v : tasks) v.resize(kPerProducer);
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done_producing{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (auto& t : tasks[p]) {
+        t.init(&nop, nullptr, {}, kTaskNone);
+        t.state.store(TaskState::kQueued);
+        q->enqueue(&t);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        Task* t = q->try_dequeue();
+        if (t != nullptr) {
+          consumed.fetch_add(1);
+          continue;
+        }
+        if (consumed.load() == kProducers * kPerProducer) return;
+        if (done_producing.load()) std::this_thread::yield();
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  done_producing.store(true);
+  for (int c = kProducers; c < kProducers + kConsumers; ++c) {
+    threads[static_cast<std::size_t>(c)].join();
+  }
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q->size_approx(), 0u);
+}
+
+TEST_P(TaskQueueAll, StatsCountOperations) {
+  auto q = make_queue(GetParam());
+  Task t;
+  t.init(&nop, nullptr, {}, kTaskNone);
+  t.state.store(TaskState::kQueued);
+  q->enqueue(&t);
+  (void)q->try_dequeue();
+  (void)q->try_dequeue();  // empty
+  const QueueStats s = q->stats();
+  EXPECT_EQ(s.enqueues, 1u);
+  EXPECT_EQ(s.dequeues, 1u);
+  EXPECT_GE(s.empty_checks, 1u) << kind_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TaskQueueAll, ::testing::Range(0, 4));
+
+TEST(LockedQueue, FifoOrder) {
+  SpinTaskQueue q;
+  Task a, b, c;
+  for (Task* t : {&a, &b, &c}) {
+    t->init(&nop, nullptr, {}, kTaskNone);
+    t->state.store(TaskState::kQueued);
+    q.enqueue(t);
+  }
+  EXPECT_EQ(q.try_dequeue(), &a);
+  EXPECT_EQ(q.try_dequeue(), &b);
+  EXPECT_EQ(q.try_dequeue(), &c);
+}
+
+TEST(LockedQueue, DoubleCheckAvoidsLockOnEmpty) {
+  SpinTaskQueue q(/*double_check=*/true);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.try_dequeue(), nullptr);
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.lock_acquisitions, 0u) << "empty queue must not be locked";
+  EXPECT_EQ(s.empty_checks, 10u);
+}
+
+TEST(LockedQueue, NoDoubleCheckAlwaysLocks) {
+  SpinTaskQueue q(/*double_check=*/false);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.try_dequeue(), nullptr);
+  EXPECT_EQ(q.stats().lock_acquisitions, 10u);
+}
+
+TEST(LockFreeQueue, ReportsLockFreedom) {
+  LockFreeTaskQueue q;
+  // Informational: on x86-64 with cx16 this should be lock-free; the ablation
+  // bench reports it. Either way the queue must behave correctly (covered by
+  // the parameterized suite above).
+  (void)q.is_lock_free();
+  SUCCEED();
+}
+
+TEST(LockFreeQueue, ReusedTaskNoAba) {
+  // Pop/re-push the same task from several threads; the tag must prevent
+  // lost updates (this is the classic ABA shape for a Treiber stack).
+  LockFreeTaskQueue q;
+  constexpr int kTasks = 8;
+  std::deque<Task> tasks(kTasks);
+  for (auto& t : tasks) {
+    t.init(&nop, nullptr, {}, kTaskNone);
+    t.state.store(TaskState::kQueued);
+    q.enqueue(&t);
+  }
+  std::atomic<int64_t> ops{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 6; ++c) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50'000; ++i) {
+        Task* t = q.try_dequeue();
+        if (t != nullptr) {
+          q.enqueue(t);  // immediately recycle: stresses ABA
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every task must still be present exactly once.
+  EXPECT_EQ(q.size_approx(), static_cast<std::size_t>(kTasks));
+  std::set<Task*> seen;
+  for (int i = 0; i < kTasks; ++i) {
+    Task* t = q.try_dequeue();
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(seen.insert(t).second);
+  }
+  EXPECT_EQ(q.try_dequeue(), nullptr);
+  EXPECT_GT(ops.load(), 0);
+}
+
+}  // namespace
+}  // namespace piom

@@ -1,0 +1,122 @@
+// Tests for the utility layer: timing, statistics, options parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/timing.hpp"
+
+namespace piom::util {
+namespace {
+
+TEST(Timing, NowIsMonotonic) {
+  const int64_t a = now_ns();
+  const int64_t b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(Timing, PreciseWaitIsAccurate) {
+  for (const int64_t wait_ns : {10'000, 200'000, 2'000'000}) {
+    const int64_t t0 = now_ns();
+    precise_wait_ns(wait_ns);
+    const int64_t elapsed = now_ns() - t0;
+    EXPECT_GE(elapsed, wait_ns);
+    // Precision: within 30% + 100us slack (container clock jitter).
+    EXPECT_LE(elapsed, wait_ns + wait_ns / 3 + 100'000);
+  }
+}
+
+TEST(Timing, BurnCpuBurnsAtLeastRequested) {
+  const int64_t t0 = now_ns();
+  burn_cpu_us(500);
+  EXPECT_GE(now_ns() - t0, 500'000);
+}
+
+TEST(Timing, StopwatchMeasures) {
+  Stopwatch sw;
+  precise_wait_ns(100'000);
+  EXPECT_GE(sw.elapsed_ns(), 100'000);
+  EXPECT_GE(sw.elapsed_us(), 100.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ns(), 100'000'000);
+}
+
+TEST(Stats, SummaryOfKnownData) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7);
+  EXPECT_DOUBLE_EQ(s.median, 7);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(Stats, QuantilesInterpolate) {
+  const std::vector<double> sorted{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 40);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 20);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 10);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.125), 5);  // interpolated
+}
+
+TEST(Stats, SampleSetAccumulates) {
+  SampleSet set;
+  EXPECT_TRUE(set.empty());
+  for (int i = 1; i <= 10; ++i) set.add(i);
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_DOUBLE_EQ(set.summary().mean, 5.5);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Stats, FormatSi) {
+  EXPECT_EQ(format_si(950), "950");
+  EXPECT_EQ(format_si(1500), "1.50k");
+  EXPECT_EQ(format_si(2'500'000), "2.50M");
+  EXPECT_EQ(format_si(3'200'000'000.0), "3.20G");
+  EXPECT_EQ(format_si(42, 8), "      42");
+}
+
+TEST(Options, EnvParsing) {
+  setenv("PIOM_TEST_INT", "42", 1);
+  setenv("PIOM_TEST_DBL", "2.5", 1);
+  setenv("PIOM_TEST_STR", "hello", 1);
+  setenv("PIOM_TEST_BOOL", "yes", 1);
+  setenv("PIOM_TEST_JUNK", "xyz", 1);
+  EXPECT_EQ(env_int("PIOM_TEST_INT", 0), 42);
+  EXPECT_EQ(env_int("PIOM_TEST_MISSING", 7), 7);
+  EXPECT_EQ(env_int("PIOM_TEST_JUNK", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("PIOM_TEST_DBL", 0), 2.5);
+  EXPECT_EQ(env_str("PIOM_TEST_STR", "d"), "hello");
+  EXPECT_EQ(env_str("PIOM_TEST_MISSING", "d"), "d");
+  EXPECT_TRUE(env_bool("PIOM_TEST_BOOL", false));
+  EXPECT_FALSE(env_bool("PIOM_TEST_JUNK", false));
+  unsetenv("PIOM_TEST_INT");
+  unsetenv("PIOM_TEST_DBL");
+  unsetenv("PIOM_TEST_STR");
+  unsetenv("PIOM_TEST_BOOL");
+  unsetenv("PIOM_TEST_JUNK");
+}
+
+TEST(Options, ArgScanning) {
+  const char* argv_c[] = {"prog", "--alpha", "1", "--beta=two", "--flag"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EQ(arg_value(5, argv, "alpha"), "1");
+  EXPECT_EQ(arg_value(5, argv, "beta"), "two");
+  EXPECT_EQ(arg_value(5, argv, "gamma"), "");
+  EXPECT_TRUE(arg_flag(5, argv, "flag"));
+  EXPECT_FALSE(arg_flag(5, argv, "missing"));
+}
+
+}  // namespace
+}  // namespace piom::util
