@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
     auto wo = make_world(mpi::EngineKind::kOpenMpiLike);
     auto wp = make_world(mpi::EngineKind::kPioman);
     for (const std::size_t size : {4096u, 65536u, 1u << 20}) {
-      std::printf("%10u %14.1f %14.1f %14.1f\n", size,
+      std::printf("%10zu %14.1f %14.1f %14.1f\n", size,
                   bandwidth_MBps(wm, size, 8, bw_iters),
                   bandwidth_MBps(wo, size, 8, bw_iters),
                   bandwidth_MBps(wp, size, 8, bw_iters));

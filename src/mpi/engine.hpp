@@ -29,6 +29,13 @@ class Engine {
   /// Nonblocking completion check (may drive progress, like MPI_Test).
   virtual bool test(Request& req) = 0;
 
+  /// Drive one round of protocol progress without a request to wait on
+  /// (like poking MPI_Iprobe). Caller-driven engines poll the session here;
+  /// engines with background progression have nothing to do. Needed e.g. to
+  /// keep re-acknowledging retransmissions on a lossy link after this
+  /// rank's last blocking call has returned.
+  virtual void progress() {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Stop background machinery (idempotent; called before teardown).

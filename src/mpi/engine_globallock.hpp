@@ -42,6 +42,7 @@ class GlobalLockEngine final : public Engine {
              std::size_t cap) override;
   void wait(Request& req) override;
   bool test(Request& req) override;
+  void progress() override { locked_progress(); }
   [[nodiscard]] std::string name() const override { return config_.label; }
 
   /// Lock acquisitions so far (the Fig-4 bench reports contention).

@@ -114,9 +114,9 @@ TEST(CpuSet, ParseBasics) {
 }
 
 TEST(CpuSet, ParseRejectsJunk) {
-  EXPECT_THROW(CpuSet::parse("abc"), std::invalid_argument);
-  EXPECT_THROW(CpuSet::parse("3-1"), std::invalid_argument);
-  EXPECT_THROW(CpuSet::parse("1;2"), std::invalid_argument);
+  EXPECT_THROW((void)CpuSet::parse("abc"), std::invalid_argument);
+  EXPECT_THROW((void)CpuSet::parse("3-1"), std::invalid_argument);
+  EXPECT_THROW((void)CpuSet::parse("1;2"), std::invalid_argument);
 }
 
 // Property: to_string/parse round-trips for random sets.

@@ -146,8 +146,8 @@ TEST_P(MpiAllEngines, BadRankArguments) {
   char b = 0;
   EXPECT_THROW(world.comm(0).isend(r, 0, 1, &b, 1), std::invalid_argument);
   EXPECT_THROW(world.comm(0).irecv(r, 0, 1, &b, 1), std::invalid_argument);
-  EXPECT_THROW(world.comm(2), std::out_of_range);
-  EXPECT_THROW(world.comm(-1), std::out_of_range);
+  EXPECT_THROW((void)world.comm(2), std::out_of_range);
+  EXPECT_THROW((void)world.comm(-1), std::out_of_range);
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, MpiAllEngines,
@@ -167,6 +167,13 @@ TEST(MpiPioman, ReceiverSideOverlapBeatsBaseline) {
   // The paper's headline property, as a test: with computation on the
   // RECEIVER side, the pioman engine's background progression must overlap
   // the rendezvous, the global-lock baseline must not.
+  //
+  // Overlap needs the progression workers to actually run in parallel with
+  // the compute burn; on fewer than 4 hardware threads (sender + receiver +
+  // 2 pioman workers) the measured ratio is pure scheduler noise.
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads to measure overlap";
+  }
   auto measure = [](EngineKind kind) {
     WorldConfig cfg;
     cfg.engine = kind;

@@ -12,6 +12,7 @@
 #include "mpi/world.hpp"
 #include "util/timing.hpp"
 
+#include <atomic>
 #include <thread>
 
 namespace piom::nmad {
@@ -265,17 +266,28 @@ TEST(ReliabilityWorld, FullStackOverLossyLinkAllEngines) {
     cfg.session.rto_us = 100;
     mpi::World world(cfg);
     constexpr int kMsgs = 30;
+    std::atomic<bool> sender_done{false};
     std::thread receiver([&] {
       int64_t v = -1;
       for (int i = 0; i < kMsgs; ++i) {
         world.comm(1).recv(0, static_cast<Tag>(i), &v, sizeof(v));
         EXPECT_EQ(v, i * 7) << mpi::engine_kind_name(kind);
       }
+      // Keep rank 1's protocol engine turning until the sender has drained:
+      // if the last data packet's ack is dropped, the retransmitted
+      // duplicate is only re-acknowledged when this rank polls, and with
+      // caller-driven progress nobody else polls once recv() has returned
+      // (the paper's very argument for dedicated progression engines).
+      while (!sender_done.load(std::memory_order_acquire)) {
+        world.engine(1).progress();
+        std::this_thread::yield();
+      }
     });
     for (int i = 0; i < kMsgs; ++i) {
       const int64_t v = i * 7;
       world.comm(0).send(1, static_cast<Tag>(i), &v, sizeof(v));
     }
+    sender_done.store(true, std::memory_order_release);
     receiver.join();
   }
 }

@@ -305,7 +305,12 @@ TEST(TaskManagerConcurrency, ManyCoresDrainSharedQueue) {
     if (n > 0) ++participating;
   }
   EXPECT_EQ(total, static_cast<uint64_t>(kTasks));
-  EXPECT_GE(participating, 2);
+  // Work sharing needs real parallelism: on a single hardware thread the
+  // first worker scheduled can drain all 4000 tiny tasks before the OS ever
+  // preempts it, so only assert participation when cores can actually race.
+  if (std::thread::hardware_concurrency() >= 2) {
+    EXPECT_GE(participating, 2);
+  }
 }
 
 TEST(TaskManagerConcurrency, ConcurrentSubmitAndDrain) {
