@@ -1,0 +1,153 @@
+// Collective latency vs cluster size N, per progress engine — Fig 4's
+// story extended to the N-rank collectives: every rank of the cluster is
+// simultaneously inside the collective, so caller-driven global-lock
+// engines pay N hard-spinning ranks fighting for the host's cores, while
+// pioman's background progression parks the waiters and keeps the curve
+// flat(ter) as N grows.
+//
+// One table per collective (barrier / bcast / allreduce / alltoall): rows
+// are cluster sizes, columns the three engines, cells the mean per-call
+// latency in microseconds measured across the whole cluster.
+//
+// --quick shrinks N and the iteration counts; --json <path> records the
+// BENCH_*.json layout (see bench/README.md).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "mpi/world.hpp"
+#include "sync/backoff.hpp"
+
+namespace {
+
+using piom::mpi::Comm;
+using piom::mpi::EngineKind;
+using piom::mpi::ReduceOp;
+using piom::mpi::World;
+using piom::mpi::WorldConfig;
+
+struct BenchShape {
+  std::vector<int> cluster_sizes;
+  int warmup = 5;
+  int iterations = 40;
+};
+
+constexpr EngineKind kEngines[] = {EngineKind::kMvapichLike,
+                                   EngineKind::kOpenMpiLike,
+                                   EngineKind::kPioman};
+
+// One collective under test: name + per-rank call.
+struct Collective {
+  const char* name;
+  void (*run)(Comm& comm, int nranks);
+};
+
+void run_barrier(Comm& comm, int) { comm.barrier(); }
+
+void run_bcast(Comm& comm, int) {
+  static thread_local std::vector<uint8_t> buf(1024, 0x5a);
+  comm.bcast(buf.data(), buf.size(), 0);
+}
+
+void run_allreduce(Comm& comm, int) {
+  static thread_local std::vector<double> v(256, 1.0);
+  comm.allreduce(v.data(), v.size(), ReduceOp::kSum);
+}
+
+void run_alltoall(Comm& comm, int nranks) {
+  static thread_local std::vector<uint8_t> src, dst;
+  src.assign(static_cast<std::size_t>(nranks) * 256, 0x21);
+  dst.assign(src.size(), 0);
+  comm.alltoall(src.data(), 256, dst.data());
+}
+
+constexpr Collective kCollectives[] = {
+    {"barrier", &run_barrier},
+    {"bcast_1k", &run_bcast},
+    {"allreduce_256d", &run_allreduce},
+    {"alltoall_256b", &run_alltoall},
+};
+
+/// Mean per-call latency (us) of `coll` on a fresh N-rank world: every
+/// rank loops the collective on its own thread; the wall time of the
+/// whole synchronized block is attributed per iteration.
+double measure(EngineKind kind, int nranks, const Collective& coll,
+               const BenchShape& shape) {
+  WorldConfig cfg;
+  cfg.engine = kind;
+  cfg.nranks = nranks;
+  cfg.session.pool_bufs_per_rail = 8;
+  cfg.pioman.workers = 2;
+  World world(cfg);
+  int64_t t0 = 0, t1 = 0;
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < nranks; ++r) {
+    ranks.emplace_back([&, r] {
+      Comm& comm = world.comm(r);
+      for (int i = 0; i < shape.warmup; ++i) coll.run(comm, nranks);
+      comm.barrier();
+      if (r == 0) t0 = piom::util::now_ns();
+      for (int i = 0; i < shape.iterations; ++i) coll.run(comm, nranks);
+      comm.barrier();
+      if (r == 0) t1 = piom::util::now_ns();
+    });
+  }
+  for (auto& t : ranks) t.join();
+  return static_cast<double>(t1 - t0) * 1e-3 / shape.iterations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchShape shape;
+  shape.cluster_sizes = {2, 3, 4, 8};
+  if (piom::bench::quick_mode(argc, argv)) {
+    shape.cluster_sizes = {2, 4};
+    shape.warmup = 2;
+    shape.iterations = 8;
+  }
+  piom::bench::JsonReport report("bench_nrank_collectives", argc, argv);
+
+  std::printf(
+      "=== N-rank collectives — per-call latency (us) vs cluster size ===\n"
+      "expected shape: global-lock engines degrade as N grows (N spinning\n"
+      "ranks), pioman stays flat(ter) — Fig 4's story for collectives\n\n");
+
+  // engine -> (collective, N) -> us
+  std::map<std::string, std::map<std::pair<std::string, int>, double>> all;
+  for (const EngineKind kind : kEngines) {
+    for (const Collective& coll : kCollectives) {
+      for (const int n : shape.cluster_sizes) {
+        all[piom::mpi::engine_kind_name(kind)][{coll.name, n}] =
+            measure(kind, n, coll, shape);
+      }
+    }
+  }
+
+  const int label_w = 18, cell_w = 14;
+  for (const Collective& coll : kCollectives) {
+    std::printf("--- %s ---\n", coll.name);
+    {
+      std::vector<std::string> header;
+      for (const EngineKind kind : kEngines) {
+        header.emplace_back(piom::mpi::engine_kind_name(kind));
+      }
+      piom::bench::print_row("N", header, label_w, cell_w);
+    }
+    for (const int n : shape.cluster_sizes) {
+      std::vector<std::string> cells;
+      report.row().str("collective", coll.name).num("nranks", n);
+      for (const EngineKind kind : kEngines) {
+        const double us = all[piom::mpi::engine_kind_name(kind)][{coll.name, n}];
+        cells.push_back(piom::bench::fmt_us(us));
+        report.num(std::string(piom::mpi::engine_kind_name(kind)) + "_us", us);
+      }
+      piom::bench::print_row(std::to_string(n), cells, label_w, cell_w);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

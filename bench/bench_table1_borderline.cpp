@@ -11,7 +11,7 @@
 int main(int argc, char** argv) {
   const piom::topo::Machine machine = piom::topo::Machine::borderline();
   piom::bench::run_scheduling_table(
-      machine,
+      machine, "bench_table1_borderline",
       "=== Table I — task scheduling micro-benchmark on 'borderline' "
       "(4-way dual-core, synthetic) ===",
       "paper reference (ns): per-core 770-1819, per-chip 1059-1199, "

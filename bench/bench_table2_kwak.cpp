@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   const piom::topo::Machine machine = piom::topo::Machine::kwak();
   piom::bench::run_scheduling_table(
-      machine,
+      machine, "bench_table2_kwak",
       "=== Table II — task scheduling micro-benchmark on 'kwak' "
       "(4-way quad-core NUMA, synthetic) ===",
       "paper reference (ns): per-core 697-1867, per-chip 1905-5216, "

@@ -4,6 +4,8 @@
 #include <pthread.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,5 +53,129 @@ inline std::string fmt_us(double us, int decimals = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, us);
   return buf;
 }
+
+/// Machine-readable results: pass `--json <path>` (or --json=<path>) and
+/// the benchmark writes the BENCH_*.json layout of bench/README.md — one
+/// `results` object per printed table row — alongside its stdout table.
+/// Without the flag every call is a no-op, so instrumentation costs
+/// nothing. The commit field comes from $PIOM_BENCH_COMMIT when set
+/// (record scripts export it), "unrecorded" otherwise.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)),
+        path_(util::arg_value(argc, argv, "json")) {
+    for (int i = 1; i < argc; ++i) {
+      // The output path itself is not an interesting argument to record.
+      const std::string a = argv[i];
+      if (a == "--json") {
+        ++i;
+        continue;
+      }
+      if (a.rfind("--json=", 0) == 0) continue;
+      args_.push_back(a);
+    }
+  }
+  ~JsonReport() { write(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Start a new result row; chain num()/str() to fill its fields:
+  ///   report.row().str("queue", "per-core").num("core", 3).num("ns", 812);
+  JsonReport& row() {
+    if (enabled()) rows_.emplace_back();
+    return *this;
+  }
+  JsonReport& num(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return field(key, buf);
+  }
+  JsonReport& str(const std::string& key, const std::string& value) {
+    std::string rendered = "\"";
+    rendered += escape(value);
+    rendered += '"';
+    return field(key, rendered);
+  }
+
+  /// Write the file now (also runs at destruction; idempotent).
+  void write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
+      return;
+    }
+    const char* commit = std::getenv("PIOM_BENCH_COMMIT");
+    char date[16] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+    if (localtime_r(&now, &tm_buf) != nullptr) {
+      std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_buf);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(bench_).c_str());
+    std::fprintf(f, "  \"commit\": \"%s\",\n",
+                 escape(commit != nullptr ? commit : "unrecorded").c_str());
+    std::fprintf(f, "  \"date\": \"%s\",\n", date);
+    std::fprintf(f, "  \"host\": {\"cpus\": %u, \"os\": \"%s\"},\n",
+                 std::thread::hardware_concurrency(),
+#ifdef __linux__
+                 "linux"
+#else
+                 "other"
+#endif
+    );
+    std::fprintf(f, "  \"args\": [");
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i ? ", " : "", escape(args_[i]).c_str());
+    }
+    std::fprintf(f, "],\n  \"results\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {%s}%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json results written to %s\n", path_.c_str());
+  }
+
+ private:
+  // Appends piecewise: a `"x" + str + "y"` temporary chain here trips
+  // GCC 12's -Wrestrict false positive once everything inlines.
+  JsonReport& field(const std::string& key, const std::string& rendered) {
+    if (!enabled() || rows_.empty()) return *this;
+    std::string& row = rows_.back();
+    if (!row.empty()) row += ", ";
+    row += '"';
+    row += escape(key);
+    row += "\": ";
+    row += rendered;
+    return *this;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> args_;
+  std::vector<std::string> rows_;  // pre-rendered "key": value lists
+  bool written_ = false;
+};
 
 }  // namespace piom::bench

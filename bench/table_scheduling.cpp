@@ -22,7 +22,8 @@ std::vector<const topo::TopoNode*> grouping_nodes(const topo::Machine& m) {
 }
 }  // namespace
 
-void run_scheduling_table(const topo::Machine& machine, const char* title,
+void run_scheduling_table(const topo::Machine& machine,
+                          const char* bench_name, const char* title,
                           const char* paper_note, int argc, char** argv) {
   SchedulingBenchConfig cfg;
   if (quick_mode(argc, argv)) {
@@ -30,6 +31,7 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
     cfg.batches = 3;
     cfg.iterations = 300;
   }
+  JsonReport report(bench_name, argc, argv);
   const int ncpus = machine.ncpus();
 
   std::printf("%s\n", title);
@@ -43,7 +45,13 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
   const int cell_w = 8;
   {
     std::vector<std::string> header;
-    for (int c = 0; c < ncpus; ++c) header.push_back("#" + std::to_string(c));
+    for (int c = 0; c < ncpus; ++c) {
+      // Appended piecewise: the "#" + to_string(c) temporary chain trips
+      // GCC 12's -Wrestrict false positive under full inlining.
+      std::string cell = "#";
+      cell += std::to_string(c);
+      header.push_back(std::move(cell));
+    }
     print_row("core", header, label_w, cell_w);
   }
 
@@ -51,7 +59,9 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
   {
     std::vector<std::string> cells;
     for (int c = 0; c < ncpus; ++c) {
-      cells.push_back(fmt_ns(bench.measure(topo::CpuSet::single(c))));
+      const double ns = bench.measure(topo::CpuSet::single(c));
+      cells.push_back(fmt_ns(ns));
+      report.row().str("queue", "per-core").num("core", c).num("ns", ns);
     }
     print_row("per-core queues", cells, label_w, cell_w);
   }
@@ -61,7 +71,13 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
   {
     std::vector<std::string> cells;
     for (const topo::TopoNode* g : groups) {
-      const std::string v = fmt_ns(bench.measure(g->cpus));
+      const double ns = bench.measure(g->cpus);
+      const std::string v = fmt_ns(ns);
+      report.row()
+          .str("queue", "per-chip")
+          .num("group", g->index_in_level)
+          .num("cores", g->cpus.count())
+          .num("ns", ns);
       // Spread each group's value across its cores' columns: value then
       // blanks (paper prints one number per chip).
       bool first = true;
@@ -77,10 +93,10 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
 
   // Row 3: global queue, all cores.
   {
-    std::vector<std::string> cells{
-        fmt_ns(bench.measure(topo::CpuSet::first_n(ncpus)))};
-    print_row("global queue (" + std::to_string(ncpus) + " cores)", cells,
-              label_w, cell_w);
+    const double ns = bench.measure(topo::CpuSet::first_n(ncpus));
+    report.row().str("queue", "global").num("cores", ncpus).num("ns", ns);
+    print_row("global queue (" + std::to_string(ncpus) + " cores)",
+              {fmt_ns(ns)}, label_w, cell_w);
   }
 
   // Distribution check (paper: per-chip queues are shared evenly; the
@@ -92,10 +108,14 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
                                           : groups.front()->cpus,
                            cfg.iterations);
     std::vector<std::string> cells;
-    for (double s : shares) {
+    for (std::size_t c = 0; c < shares.size(); ++c) {
       char buf[16];
-      std::snprintf(buf, sizeof(buf), "%.0f%%", s * 100);
+      std::snprintf(buf, sizeof(buf), "%.0f%%", shares[c] * 100);
       cells.push_back(buf);
+      report.row()
+          .str("distribution", "first-group")
+          .num("core", static_cast<double>(c))
+          .num("share", shares[c]);
     }
     print_row("first group queue", cells, label_w, cell_w);
   }
@@ -103,10 +123,14 @@ void run_scheduling_table(const topo::Machine& machine, const char* title,
     const auto shares =
         bench.distribution(topo::CpuSet::first_n(ncpus), cfg.iterations);
     std::vector<std::string> cells;
-    for (double s : shares) {
+    for (std::size_t c = 0; c < shares.size(); ++c) {
       char buf[16];
-      std::snprintf(buf, sizeof(buf), "%.0f%%", s * 100);
+      std::snprintf(buf, sizeof(buf), "%.0f%%", shares[c] * 100);
       cells.push_back(buf);
+      report.row()
+          .str("distribution", "global")
+          .num("core", static_cast<double>(c))
+          .num("share", shares[c]);
     }
     print_row("global queue", cells, label_w, cell_w);
   }

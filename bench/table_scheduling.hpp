@@ -124,7 +124,9 @@ class SchedulingBench {
 };
 
 /// Run the full table for `machine` and print it in the paper's layout.
-void run_scheduling_table(const topo::Machine& machine, const char* title,
+/// `bench_name` labels the `--json <path>` report (BENCH_*.json layout).
+void run_scheduling_table(const topo::Machine& machine,
+                          const char* bench_name, const char* title,
                           const char* paper_note, int argc, char** argv);
 
 }  // namespace piom::bench

@@ -37,6 +37,18 @@ void GlobalLockEngine::irecv(Request& req, nmad::Gate& gate, Tag tag,
   }
 }
 
+void GlobalLockEngine::irecv_any(Request& req,
+                                 const std::vector<nmad::Gate*>& gates,
+                                 Tag tag, void* buf, std::size_t cap) {
+  req.arm(/*is_send=*/false);
+  {
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(big_lock_);
+    nmad::irecv_any_source(req.recv_req(), gates, tag, buf, cap);
+    session_.progress();
+  }
+}
+
 void GlobalLockEngine::wait(Request& req) {
   nmad::RequestCore& core = req.req_core();
   // Caller-driven progress: every blocked thread hammers the big lock.

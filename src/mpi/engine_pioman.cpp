@@ -127,6 +127,13 @@ void PiomanEngine::irecv(Request& req, nmad::Gate& gate, Tag tag, void* buf,
   gate.irecv(req.recv_req(), tag, buf, cap);
 }
 
+void PiomanEngine::irecv_any(Request& req,
+                             const std::vector<nmad::Gate*>& gates, Tag tag,
+                             void* buf, std::size_t cap) {
+  req.arm(/*is_send=*/false);
+  nmad::irecv_any_source(req.recv_req(), gates, tag, buf, cap);
+}
+
 void PiomanEngine::wait(Request& req) {
   nmad::RequestCore& core = req.req_core();
   if (core.completed()) return;

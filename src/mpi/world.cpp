@@ -16,49 +16,69 @@ const char* engine_kind_name(EngineKind k) {
 }
 
 World::World(WorldConfig config) : config_(config) {
+  if (config_.nranks < 2) throw std::invalid_argument("World: nranks >= 2");
   if (config_.rails < 1) throw std::invalid_argument("World: rails >= 1");
+  const int n = config_.nranks;
   fabric_ = std::make_unique<simnet::Fabric>(config_.time_scale);
-  std::vector<simnet::Nic*> rails0;
-  std::vector<simnet::Nic*> rails1;
-  for (int r = 0; r < config_.rails; ++r) {
-    auto [a, b] = fabric_->create_link("rail" + std::to_string(r), config_.link);
-    rails0.push_back(a);
-    rails1.push_back(b);
-  }
-  sessions_[0] = std::make_unique<nmad::Session>("rank0", config_.session);
-  sessions_[1] = std::make_unique<nmad::Session>("rank1", config_.session);
-  nmad::Gate& gate0 = sessions_[0]->create_gate(rails0);
-  nmad::Gate& gate1 = sessions_[1]->create_gate(rails1);
+  // Full-mesh wiring: every rank pair gets `rails` dedicated links.
+  const simnet::Fabric::MeshWiring mesh =
+      fabric_->create_full_mesh(n, config_.rails, config_.link, "link");
 
-  for (int rank = 0; rank < 2; ++rank) {
+  sessions_.resize(static_cast<std::size_t>(n));
+  engines_.resize(static_cast<std::size_t>(n));
+  comms_.resize(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    sessions_[static_cast<std::size_t>(rank)] = std::make_unique<nmad::Session>(
+        "rank" + std::to_string(rank), config_.session);
+  }
+  // One gate per peer per session, indexed by peer rank for Comm routing.
+  std::vector<std::vector<nmad::Gate*>> gates_by_rank(
+      static_cast<std::size_t>(n),
+      std::vector<nmad::Gate*>(static_cast<std::size_t>(n), nullptr));
+  for (int rank = 0; rank < n; ++rank) {
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == rank) continue;
+      gates_by_rank[static_cast<std::size_t>(rank)]
+                   [static_cast<std::size_t>(peer)] =
+          &sessions_[static_cast<std::size_t>(rank)]->create_gate(
+              mesh[static_cast<std::size_t>(rank)]
+                  [static_cast<std::size_t>(peer)],
+              peer);
+    }
+  }
+
+  for (int rank = 0; rank < n; ++rank) {
+    auto& session = *sessions_[static_cast<std::size_t>(rank)];
     switch (config_.engine) {
       case EngineKind::kPioman: {
-        auto engine = std::make_unique<PiomanEngine>(*sessions_[rank],
-                                                     config_.pioman);
+        auto engine = std::make_unique<PiomanEngine>(session, config_.pioman);
         engine->start_progress();
-        engines_[rank] = std::move(engine);
+        engines_[static_cast<std::size_t>(rank)] = std::move(engine);
         break;
       }
       case EngineKind::kMvapichLike: {
         GlobalLockEngineConfig glc;
         glc.label = "mvapich-like";
         glc.yield_in_wait = false;
-        engines_[rank] =
-            std::make_unique<GlobalLockEngine>(*sessions_[rank], glc);
+        engines_[static_cast<std::size_t>(rank)] =
+            std::make_unique<GlobalLockEngine>(session, glc);
         break;
       }
       case EngineKind::kOpenMpiLike: {
         GlobalLockEngineConfig glc;
         glc.label = "openmpi-like";
         glc.yield_in_wait = true;
-        engines_[rank] =
-            std::make_unique<GlobalLockEngine>(*sessions_[rank], glc);
+        engines_[static_cast<std::size_t>(rank)] =
+            std::make_unique<GlobalLockEngine>(session, glc);
         break;
       }
     }
   }
-  comms_[0].reset(new Comm(0, engines_[0].get(), &gate0));
-  comms_[1].reset(new Comm(1, engines_[1].get(), &gate1));
+  for (int rank = 0; rank < n; ++rank) {
+    comms_[static_cast<std::size_t>(rank)].reset(
+        new Comm(rank, engines_[static_cast<std::size_t>(rank)].get(),
+                 std::move(gates_by_rank[static_cast<std::size_t>(rank)])));
+  }
 }
 
 World::~World() { shutdown(); }
@@ -69,30 +89,53 @@ void World::shutdown() {
   }
 }
 
+void World::check_rank(int rank, const char* who) const {
+  if (rank < 0 || rank >= config_.nranks) {
+    throw std::out_of_range(std::string(who) + ": rank " +
+                            std::to_string(rank));
+  }
+}
+
 Comm& World::comm(int rank) {
-  if (rank < 0 || rank > 1) throw std::out_of_range("World::comm: rank");
-  return *comms_[rank];
+  check_rank(rank, "World::comm");
+  return *comms_[static_cast<std::size_t>(rank)];
 }
 
 Engine& World::engine(int rank) {
-  if (rank < 0 || rank > 1) throw std::out_of_range("World::engine: rank");
-  return *engines_[rank];
+  check_rank(rank, "World::engine");
+  return *engines_[static_cast<std::size_t>(rank)];
 }
 
 nmad::Session& World::session(int rank) {
-  if (rank < 0 || rank > 1) throw std::out_of_range("World::session: rank");
-  return *sessions_[rank];
+  check_rank(rank, "World::session");
+  return *sessions_[static_cast<std::size_t>(rank)];
+}
+
+void Comm::check_peer(int peer, const char* who) const {
+  if (peer < 0 || peer >= size() || peer == rank_) {
+    throw std::invalid_argument(std::string(who) + ": bad peer rank " +
+                                std::to_string(peer));
+  }
+}
+
+nmad::Gate& Comm::gate_to(int peer) {
+  check_peer(peer, "Comm::gate_to");
+  return *gates_[static_cast<std::size_t>(peer)];
 }
 
 void Comm::isend(Request& req, int dst, Tag tag, const void* buf,
                  std::size_t len) {
-  if (dst != 1 - rank_) throw std::invalid_argument("Comm::isend: bad dst");
-  engine_->isend(req, *gate_, tag, buf, len);
+  check_peer(dst, "Comm::isend");
+  engine_->isend(req, *gates_[static_cast<std::size_t>(dst)], tag, buf, len);
 }
 
 void Comm::irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap) {
-  if (src != 1 - rank_) throw std::invalid_argument("Comm::irecv: bad src");
-  engine_->irecv(req, *gate_, tag, buf, cap);
+  if (src == kAnySource) {
+    engine_->irecv_any(req, gates_, tag, buf, cap);
+    return;
+  }
+  check_peer(src, "Comm::irecv");
+  engine_->irecv(req, *gates_[static_cast<std::size_t>(src)], tag, buf, cap);
 }
 
 void Comm::send(int dst, Tag tag, const void* buf, std::size_t len) {

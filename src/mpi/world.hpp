@@ -1,16 +1,21 @@
-// World: a two-rank mini-MPI universe in one process — two "cluster nodes"
-// (sessions + engines) wired through the simulated fabric. This is the
-// entry point benchmarks and examples use:
+// World: an N-rank mini-MPI cluster in one process — `nranks` "cluster
+// nodes" (one nmad session + one progress engine each) wired pairwise
+// through a full-mesh simulated fabric (one dedicated link — or several
+// rails — per unordered rank pair). This is the entry point benchmarks and
+// examples use:
 //
 //   mpi::WorldConfig cfg;
 //   cfg.engine = mpi::EngineKind::kPioman;
+//   cfg.nranks = 4;                       // default 2
 //   mpi::World world(cfg);
-//   world.comm(0).send(1, /*tag=*/7, data, len);
-//   world.comm(1).recv(0, 7, buf, len);
+//   world.comm(0).send(3, /*tag=*/7, data, len);
+//   world.comm(3).recv(0, 7, buf, len);
+//   world.comm(rank).bcast(buf, len, /*root=*/0);   // on every rank
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mpi/engine.hpp"
 #include "mpi/engine_pioman.hpp"
@@ -29,7 +34,9 @@ enum class EngineKind {
 
 struct WorldConfig {
   EngineKind engine = EngineKind::kPioman;
-  /// Number of rails (NIC pairs) between the two nodes.
+  /// Cluster size (>= 2). Every rank is wired to every other rank.
+  int nranks = 2;
+  /// Number of rails (NIC pairs) between each pair of ranks.
   int rails = 1;
   simnet::LinkModel link{};
   /// Multiplies every modelled network delay.
@@ -49,47 +56,55 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  /// Communicator of `rank` (0 or 1).
+  /// Communicator of `rank` (0 .. nranks-1).
   [[nodiscard]] Comm& comm(int rank);
 
+  [[nodiscard]] int nranks() const { return config_.nranks; }
   [[nodiscard]] const WorldConfig& config() const { return config_; }
   [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] Engine& engine(int rank);
   [[nodiscard]] nmad::Session& session(int rank);
 
-  /// Stop background machinery of both ranks (idempotent; dtor calls it).
+  /// Stop background machinery of every rank (idempotent; dtor calls it).
   void shutdown();
 
  private:
+  void check_rank(int rank, const char* who) const;
+
   WorldConfig config_;
   std::unique_ptr<simnet::Fabric> fabric_;
-  std::unique_ptr<nmad::Session> sessions_[2];
-  std::unique_ptr<Engine> engines_[2];
-  std::unique_ptr<Comm> comms_[2];
+  std::vector<std::unique_ptr<nmad::Session>> sessions_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<Comm>> comms_;
 };
 
 /// Completion information for a receive (MPI_Status equivalent).
 struct Status {
   Tag tag = 0;            ///< actual tag (useful with kAnyTag)
+  int source = -1;        ///< actual source rank (useful with kAnySource)
   std::size_t bytes = 0;  ///< payload bytes delivered
 };
 
 /// Reduction operators for allreduce().
 enum class ReduceOp { kSum, kMax, kMin };
 
-/// Per-rank MPI-like interface. Two ranks, reliable, tag-matched.
+/// Per-rank MPI-like interface: N ranks, reliable, tag- and source-matched.
 /// Tags >= kReservedTagBase are reserved for the collectives.
 class Comm {
  public:
   /// Wildcard receive tag (MPI_ANY_TAG).
   static constexpr Tag kAnyTag = nmad::kAnyTag;
+  /// Wildcard receive source (MPI_ANY_SOURCE): matches the first arrival
+  /// from any peer; Status.source reports who sent it.
+  static constexpr int kAnySource = -1;
   /// First tag reserved for internal (collective) traffic.
   static constexpr Tag kReservedTagBase = 0xffff0000u;
 
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const { return 2; }
+  [[nodiscard]] int size() const { return static_cast<int>(gates_.size()); }
 
   void isend(Request& req, int dst, Tag tag, const void* buf, std::size_t len);
+  /// `src` may be kAnySource.
   void irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap);
   void wait(Request& req) { engine_->wait(req); }
   [[nodiscard]] bool test(Request& req) { return engine_->test(req); }
@@ -97,39 +112,70 @@ class Comm {
   /// Blocking convenience wrappers (isend/irecv + wait).
   void send(int dst, Tag tag, const void* buf, std::size_t len);
   void recv(int src, Tag tag, void* buf, std::size_t cap);
-  /// Blocking receive reporting the matched tag/size (use with kAnyTag).
+  /// Blocking receive reporting the matched tag/source/size (use with
+  /// kAnyTag / kAnySource).
   Status recv_status(int src, Tag tag, void* buf, std::size_t cap);
 
   /// Simultaneous send and receive (MPI_Sendrecv): both directions overlap,
-  /// deadlock-free even when both ranks call it at once.
+  /// deadlock-free even when both ranks call it at once. `send_dst` and
+  /// `recv_src` may name different peers (ring shifts).
+  void sendrecv(int send_dst, Tag send_tag, const void* send_buf,
+                std::size_t send_len, int recv_src, Tag recv_tag,
+                void* recv_buf, std::size_t recv_cap);
+  /// Single-peer overload (exchange with one neighbour).
   void sendrecv(int peer, Tag send_tag, const void* send_buf,
                 std::size_t send_len, Tag recv_tag, void* recv_buf,
-                std::size_t recv_cap);
+                std::size_t recv_cap) {
+    sendrecv(peer, send_tag, send_buf, send_len, peer, recv_tag, recv_buf,
+             recv_cap);
+  }
 
-  // ---- collectives (both ranks must call; internally use reserved tags) --
+  // ---- collectives (every rank must call, in the same order; internally
+  // ---- use reserved tags so they compose with application traffic) ------
 
-  /// Synchronize both ranks.
+  /// Synchronize all ranks (dissemination algorithm, ceil(log2 N) rounds).
   void barrier();
 
-  /// Broadcast `len` bytes from `root` to the other rank.
+  /// Broadcast `len` bytes from `root` to every rank (binomial tree).
   void bcast(void* buf, std::size_t len, int root);
 
-  /// Element-wise reduction across both ranks; every rank ends up with the
-  /// combined result. T must be an arithmetic type.
+  /// Element-wise reduction across all ranks; every rank ends up with the
+  /// combined result. Recursive doubling when N is a power of two, ring
+  /// reduce-scatter + allgather otherwise. T must be an arithmetic type.
   template <typename T>
   void allreduce(T* data, std::size_t count, ReduceOp op);
 
+  /// Root collects `len` bytes from every rank: rank i's block lands at
+  /// recvbuf + i*len. `recvbuf` is only used on the root (pass nullptr
+  /// elsewhere).
+  void gather(const void* sendbuf, std::size_t len, void* recvbuf, int root);
+
+  /// Root distributes `len`-byte blocks: rank i receives sendbuf + i*len
+  /// into recvbuf. `sendbuf` is only used on the root (pass nullptr
+  /// elsewhere).
+  void scatter(const void* sendbuf, std::size_t len, void* recvbuf, int root);
+
+  /// Every rank sends block d (sendbuf + d*len) to rank d and receives
+  /// rank s's block at recvbuf + s*len (pairwise exchange, N-1 rounds).
+  /// Buffers must not alias.
+  void alltoall(const void* sendbuf, std::size_t len, void* recvbuf);
+
   [[nodiscard]] Engine& engine() { return *engine_; }
-  [[nodiscard]] nmad::Gate& gate() { return *gate_; }
+  /// Gate towards `peer` (throws on self / out of range).
+  [[nodiscard]] nmad::Gate& gate_to(int peer);
 
  private:
   friend class World;
-  Comm(int rank, Engine* engine, nmad::Gate* gate)
-      : rank_(rank), engine_(engine), gate_(gate) {}
+  Comm(int rank, Engine* engine, std::vector<nmad::Gate*> gates)
+      : rank_(rank), engine_(engine), gates_(std::move(gates)) {}
+
+  /// Throws unless `peer` is a valid rank other than rank_.
+  void check_peer(int peer, const char* who) const;
 
   int rank_;
   Engine* engine_;
-  nmad::Gate* gate_;
+  /// By peer rank; the entry at rank_ is null (no self-gate).
+  std::vector<nmad::Gate*> gates_;
 };
 
 }  // namespace piom::mpi

@@ -10,8 +10,8 @@
 
 namespace piom::nmad {
 
-Gate::Gate(Session& session, std::vector<simnet::Nic*> rails)
-    : session_(session) {
+Gate::Gate(Session& session, std::vector<simnet::Nic*> rails, int peer_rank)
+    : session_(session), peer_rank_(peer_rank) {
   const int bufs = session_.config().pool_bufs_per_rail;
   for (std::size_t i = 0; i < rails.size(); ++i) {
     RailState& r = rails_.emplace_back();
@@ -272,45 +272,115 @@ void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
   req.cap = cap;
   req.received = 0;
   req.matched_seq = 0;
+  req.source = -1;
+  req.wild_gates = nullptr;
+  req.wild_claim.store(0, std::memory_order_relaxed);
   req.core.reset();
 
   lock_.lock();
+  switch (match_unexpected(req)) {
+    case MatchResult::kDelivered:
+      return;  // lock released by match_unexpected
+    case MatchResult::kLost:
+      // Unreachable for a single-gate request (the claim always succeeds),
+      // but keep the lock discipline airtight should one ever route here.
+      lock_.unlock();
+      return;
+    case MatchResult::kNone:
+      break;
+  }
+  expected_.push_back(&req);
+  lock_.unlock();
+}
+
+bool Gate::post_wild(RecvRequest& req) {
+  lock_.lock();
+  if (req.wild_claim.load(std::memory_order_acquire) != 0) {
+    // An arrival at a gate registered earlier already claimed the request
+    // (delivery may still be in flight) — stop registering.
+    lock_.unlock();
+    return true;
+  }
+  switch (match_unexpected(req)) {
+    case MatchResult::kDelivered:
+      return true;  // lock released by match_unexpected
+    case MatchResult::kLost:
+      lock_.unlock();
+      return true;
+    case MatchResult::kNone:
+      break;
+  }
+  expected_.push_back(&req);
+  lock_.unlock();
+  return false;
+}
+
+void Gate::remove_expected(RecvRequest& req) {
+  lock_.lock();
+  for (auto it = expected_.begin(); it != expected_.end(); ++it) {
+    if (*it == &req) {
+      expected_.erase(it);
+      break;
+    }
+  }
+  lock_.unlock();
+}
+
+bool Gate::claim_expected(RecvRequest& req) {
+  if (req.wild_gates == nullptr) return true;  // single-gate request
+  uint32_t unclaimed = 0;
+  return req.wild_claim.compare_exchange_strong(unclaimed, 1,
+                                                std::memory_order_acq_rel);
+}
+
+void Gate::purge_wild_siblings(RecvRequest& req, Gate* claimer) {
+  // Safe without any lock held: the request cannot complete (and thus be
+  // freed by its owner) until after this purge, and each sibling erase is
+  // serialized against that gate's matching scans by its own lock.
+  for (Gate* g : *req.wild_gates) {
+    if (g != nullptr && g != claimer) g->remove_expected(req);
+  }
+}
+
+Gate::MatchResult Gate::match_unexpected(RecvRequest& req) {
   // Match the lowest-sequence unexpected arrival for this tag, across both
-  // the eager and the rendezvous unexpected lists.
+  // the eager and the rendezvous unexpected lists. Requires lock_; on a
+  // match (kDelivered) the lock is released before delivery. kLost keeps
+  // the lock held.
   auto eager_it = unex_eager_.end();
   for (auto it = unex_eager_.begin(); it != unex_eager_.end(); ++it) {
-    if ((tag == kAnyTag || it->tag == tag) &&
+    if ((req.tag == kAnyTag || it->tag == req.tag) &&
         (eager_it == unex_eager_.end() || it->seq < eager_it->seq)) {
       eager_it = it;
     }
   }
   auto rts_it = unex_rts_.end();
   for (auto it = unex_rts_.begin(); it != unex_rts_.end(); ++it) {
-    if ((tag == kAnyTag || it->tag == tag) &&
+    if ((req.tag == kAnyTag || it->tag == req.tag) &&
         (rts_it == unex_rts_.end() || it->seq < rts_it->seq)) {
       rts_it = it;
     }
   }
   const bool have_eager = eager_it != unex_eager_.end();
   const bool have_rts = rts_it != unex_rts_.end();
+  if (!have_eager && !have_rts) return MatchResult::kNone;
+  if (!claim_expected(req)) return MatchResult::kLost;
   if (have_eager && (!have_rts || eager_it->seq < rts_it->seq)) {
     UnexEager arrival = std::move(*eager_it);
     unex_eager_.erase(eager_it);
     lock_.unlock();
+    if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
     deliver_eager(req, arrival.data.data(), arrival.data.size(), arrival.seq,
                   arrival.tag);
-    return;
+    return MatchResult::kDelivered;
   }
-  if (have_rts) {
-    const UnexRts rts = *rts_it;
-    unex_rts_.erase(rts_it);
-    stats_.rdv_recv++;
-    lock_.unlock();
-    start_pull(req, rts);
-    return;
-  }
-  expected_.push_back(&req);
+  const UnexRts rts = *rts_it;
+  unex_rts_.erase(rts_it);
+  stats_.rdv_recv++;
   lock_.unlock();
+  if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
+  start_pull(req, rts);
+  return MatchResult::kDelivered;
 }
 
 void Gate::deliver_eager(RecvRequest& req, const uint8_t* payload,
@@ -320,7 +390,26 @@ void Gate::deliver_eager(RecvRequest& req, const uint8_t* payload,
   req.received = n;
   req.matched_seq = seq;
   req.matched_tag = tag;
+  req.gate = this;
+  req.source = peer_rank_;
   req.core.complete();
+}
+
+void irecv_any_source(RecvRequest& req, const std::vector<Gate*>& gates,
+                      Tag tag, void* buf, std::size_t cap) {
+  req.gate = nullptr;
+  req.tag = tag;
+  req.buf = buf;
+  req.cap = cap;
+  req.received = 0;
+  req.matched_seq = 0;
+  req.source = -1;
+  req.wild_claim.store(0, std::memory_order_relaxed);
+  req.wild_gates = &gates;
+  req.core.reset();
+  for (Gate* g : gates) {
+    if (g != nullptr && g->post_wild(req)) return;
+  }
 }
 
 // -------------------------------------------------------------- progression
@@ -409,15 +498,24 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
 void Gate::handle_eager(const PktHeader& hdr, const uint8_t* payload) {
   lock_.lock();
   stats_.eager_recv++;
-  for (auto it = expected_.begin(); it != expected_.end(); ++it) {
-    if ((*it)->tag == hdr.tag || (*it)->tag == kAnyTag) {
-      RecvRequest* req = *it;
-      expected_.erase(it);
-      lock_.unlock();
-      deliver_eager(*req, payload, static_cast<std::size_t>(hdr.len), hdr.seq,
-                    hdr.tag);
-      return;
+  for (auto it = expected_.begin(); it != expected_.end();) {
+    RecvRequest* req = *it;
+    if (req->tag != hdr.tag && req->tag != kAnyTag) {
+      ++it;
+      continue;
     }
+    if (!claim_expected(*req)) {
+      // Any-source request a sibling gate has already claimed: the entry
+      // is stale, drop it and keep scanning.
+      it = expected_.erase(it);
+      continue;
+    }
+    expected_.erase(it);
+    lock_.unlock();
+    if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
+    deliver_eager(*req, payload, static_cast<std::size_t>(hdr.len), hdr.seq,
+                  hdr.tag);
+    return;
   }
   // Unexpected: keep a copy (the pool buffer is recycled right after us).
   UnexEager arrival;
@@ -457,15 +555,22 @@ void Gate::handle_rts(const PktHeader& hdr) {
   rts.len = hdr.len;
   rts.raddr = hdr.raddr;
   lock_.lock();
-  for (auto it = expected_.begin(); it != expected_.end(); ++it) {
-    if ((*it)->tag == hdr.tag || (*it)->tag == kAnyTag) {
-      RecvRequest* req = *it;
-      expected_.erase(it);
-      stats_.rdv_recv++;
-      lock_.unlock();
-      start_pull(*req, rts);
-      return;
+  for (auto it = expected_.begin(); it != expected_.end();) {
+    RecvRequest* req = *it;
+    if (req->tag != hdr.tag && req->tag != kAnyTag) {
+      ++it;
+      continue;
     }
+    if (!claim_expected(*req)) {
+      it = expected_.erase(it);
+      continue;
+    }
+    expected_.erase(it);
+    stats_.rdv_recv++;
+    lock_.unlock();
+    if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
+    start_pull(*req, rts);
+    return;
   }
   unex_rts_.push_back(rts);
   stats_.unexpected_rts++;
@@ -491,6 +596,8 @@ void Gate::handle_fin(const PktHeader& hdr) {
 void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {
   req.matched_seq = rts.seq;
   req.matched_tag = rts.tag;
+  req.gate = this;
+  req.source = peer_rank_;
   const std::size_t n = std::min(req.cap, static_cast<std::size_t>(rts.len));
   req.received = n;
   std::vector<double> bandwidths;

@@ -49,7 +49,9 @@ class Gate {
  public:
   /// `rails` are this side's connected NICs towards the peer; they must
   /// outlive the gate. Receive pool buffers are posted immediately.
-  Gate(Session& session, std::vector<simnet::Nic*> rails);
+  /// `peer_rank` identifies the peer in the owning cluster (reported as
+  /// RecvRequest::source on every match; -1 when the caller doesn't care).
+  Gate(Session& session, std::vector<simnet::Nic*> rails, int peer_rank = -1);
   ~Gate();
 
   Gate(const Gate&) = delete;
@@ -67,6 +69,16 @@ class Gate {
 
   /// Start a receive into `buf` (capacity `cap`).
   void irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap);
+
+  /// Register an any-source receive (initialised by irecv_any_source) with
+  /// this gate: match immediately against staged unexpected arrivals, else
+  /// join the expected queue. Returns true when the request needs no
+  /// further registrations (matched here, or already claimed elsewhere).
+  bool post_wild(RecvRequest& req);
+
+  /// Drop a wildcard registration that was claimed by a sibling gate.
+  /// No-op when the request is not queued here.
+  void remove_expected(RecvRequest& req);
 
   /// Pack and post every pending send (strategy layer: aggregation, rail
   /// selection). Safe to call from any thread, including concurrently.
@@ -86,6 +98,7 @@ class Gate {
   /// must call it periodically themselves.
   void check_retransmits();
 
+  [[nodiscard]] int peer_rank() const { return peer_rank_; }
   [[nodiscard]] int nrails() const { return static_cast<int>(rails_.size()); }
   [[nodiscard]] simnet::Nic& rail_nic(int rail_index) {
     return *rails_[static_cast<std::size_t>(rail_index)].nic;
@@ -146,15 +159,33 @@ class Gate {
   void start_pull(RecvRequest& req, const UnexRts& rts);
   void finish_pull(RdvPull& pull);
 
+  /// Outcome of matching a fresh receive against staged arrivals.
+  enum class MatchResult {
+    kNone,       ///< nothing staged matches (lock still held)
+    kDelivered,  ///< matched + delivered by this gate (lock released)
+    kLost,       ///< any-source request claimed elsewhere (lock still held)
+  };
+  /// Match `req` against the unexpected eager/RTS lists. Requires lock_.
+  MatchResult match_unexpected(RecvRequest& req);
+
+  /// Wildcard support: take ownership of a matched expected entry. For
+  /// any-source requests this CASes the claim flag; a lost race removes
+  /// the stale entry. Call with lock_ held. True = this gate delivers.
+  bool claim_expected(RecvRequest& req);
+  /// Remove a claimed wildcard request from every sibling gate. Must be
+  /// called WITHOUT lock_ and BEFORE completing the request.
+  static void purge_wild_siblings(RecvRequest& req, Gate* claimer);
+
   // Pending-send packing (strategy layer). Must be called WITHOUT lock_.
   void submit_pending();
   void post_pw(PacketWrapper* pw, int rail_index);
 
   /// Deliver `payload` into a matched receive and complete it.
-  static void deliver_eager(RecvRequest& req, const uint8_t* payload,
-                            std::size_t len, uint64_t seq, Tag tag);
+  void deliver_eager(RecvRequest& req, const uint8_t* payload,
+                     std::size_t len, uint64_t seq, Tag tag);
 
   Session& session_;
+  int peer_rank_ = -1;
   std::deque<RailState> rails_;  // deque: RailState holds a lock (immovable)
   PwPool pw_pool_;
 
@@ -176,5 +207,13 @@ class Gate {
 
   GateStats stats_;  // protected by lock_
 };
+
+/// Post `req` as an any-source (MPI_ANY_SOURCE) receive across `gates`
+/// (null entries are skipped — a rank's own slot in a by-peer table). The
+/// first gate with a matching arrival wins; the request then completes
+/// exactly like a plain irecv, with RecvRequest::source naming the winning
+/// gate's peer_rank(). `gates` must outlive the request's completion.
+void irecv_any_source(RecvRequest& req, const std::vector<Gate*>& gates,
+                      Tag tag, void* buf, std::size_t cap);
 
 }  // namespace piom::nmad

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/task.hpp"
 #include "sync/semaphore.hpp"
@@ -71,6 +72,16 @@ struct RecvRequest {
   std::size_t received = 0;
   uint64_t matched_seq = 0;
   Tag matched_tag = 0;  ///< actual tag when posted with kAnyTag
+  int source = -1;      ///< peer rank of the matched gate (kAnySource recvs)
+  /// Any-source receives are registered with several gates at once; the
+  /// first gate to match claims the request through this flag (CAS 0 -> 1).
+  /// Losing gates drop their now-stale registration instead of delivering.
+  std::atomic<uint32_t> wild_claim{0};
+  /// Non-null for any-source receives: the gate list the request was
+  /// posted across (null entries are skipped). Must stay valid until the
+  /// request completes; the claiming gate purges every sibling
+  /// registration *before* signalling completion.
+  const std::vector<Gate*>* wild_gates = nullptr;
   RequestCore core;
   RdvPull pull;  ///< embedded: no allocation on the rendezvous path either
 

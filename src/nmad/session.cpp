@@ -32,7 +32,7 @@ Session::Session(std::string name, SessionConfig config)
 
 Session::~Session() = default;
 
-Gate& Session::create_gate(std::vector<simnet::Nic*> rails) {
+Gate& Session::create_gate(std::vector<simnet::Nic*> rails, int peer_rank) {
   if (rails.empty()) {
     throw std::invalid_argument("Session::create_gate: no rails");
   }
@@ -42,7 +42,7 @@ Gate& Session::create_gate(std::vector<simnet::Nic*> rails) {
           "Session::create_gate: rail NIC missing or unconnected");
     }
   }
-  gates_.push_back(std::make_unique<Gate>(*this, std::move(rails)));
+  gates_.push_back(std::make_unique<Gate>(*this, std::move(rails), peer_rank));
   return *gates_.back();
 }
 

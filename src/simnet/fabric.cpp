@@ -40,4 +40,32 @@ std::pair<Nic*, Nic*> Fabric::create_link(const std::string& name,
   return {&a, &b};
 }
 
+Fabric::MeshWiring Fabric::create_full_mesh(int nodes, int rails_per_pair,
+                                            const LinkModel& link,
+                                            const std::string& prefix) {
+  if (nodes < 2) {
+    throw std::invalid_argument("Fabric::create_full_mesh: nodes >= 2");
+  }
+  if (rails_per_pair < 1) {
+    throw std::invalid_argument("Fabric::create_full_mesh: rails >= 1");
+  }
+  MeshWiring mesh(static_cast<std::size_t>(nodes));
+  for (auto& row : mesh) row.resize(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = i + 1; j < nodes; ++j) {
+      const std::string pair_name =
+          prefix + "." + std::to_string(i) + "-" + std::to_string(j);
+      for (int r = 0; r < rails_per_pair; ++r) {
+        auto [a, b] =
+            create_link(pair_name + ".r" + std::to_string(r), link);
+        mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]
+            .push_back(a);
+        mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]
+            .push_back(b);
+      }
+    }
+  }
+  return mesh;
+}
+
 }  // namespace piom::simnet

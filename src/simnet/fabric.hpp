@@ -1,9 +1,10 @@
 // Fabric: owner of the simulated NICs and the global time scale.
 //
-// A Fabric stands for "the interconnect between two cluster nodes" in one
+// A Fabric stands for "the interconnect between the cluster nodes" in one
 // process. Create NICs, connect them pairwise (one link = one NIC pair),
 // and hand each side to a communication library instance. Multirail = one
-// node holding several connected NICs.
+// node holding several connected NICs towards the same peer; a cluster =
+// one full mesh of links (see create_full_mesh).
 #pragma once
 
 #include <memory>
@@ -35,6 +36,18 @@ class Fabric {
   /// Convenience: create a connected pair over one link model.
   std::pair<Nic*, Nic*> create_link(const std::string& name,
                                     const LinkModel& link = {});
+
+  /// mesh[i][j] = node i's rail NICs towards node j (empty when i == j).
+  using MeshWiring = std::vector<std::vector<std::vector<Nic*>>>;
+
+  /// Wire `nodes` cluster nodes into a full mesh: every unordered pair
+  /// gets `rails_per_pair` dedicated links over `link`. NICs are named
+  /// "<prefix>.<i>-<j>.r<k>.{a,b}" (a = lower rank's side). The result
+  /// satisfies mesh[i][j][k]->peer() == mesh[j][i][k]. Requires
+  /// nodes >= 2 and rails_per_pair >= 1.
+  MeshWiring create_full_mesh(int nodes, int rails_per_pair,
+                              const LinkModel& link = {},
+                              const std::string& prefix = "mesh");
 
   [[nodiscard]] double time_scale() const { return time_scale_; }
   [[nodiscard]] std::size_t nic_count() const { return nics_.size(); }

@@ -160,6 +160,59 @@ TEST_P(CollectivesAllEngines, AllreduceSumMaxMin) {
   r1b.join();
 }
 
+TEST_P(CollectivesAllEngines, AnySourceRecvReportsSource) {
+  World world(fast_config(GetParam()));
+  std::thread sender([&] {
+    const int32_t v = 77;
+    world.comm(0).send(1, 4, &v, sizeof(v));
+  });
+  int32_t got = 0;
+  const Status st =
+      world.comm(1).recv_status(Comm::kAnySource, 4, &got, sizeof(got));
+  sender.join();
+  EXPECT_EQ(got, 77);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 4u);
+}
+
+TEST_P(CollectivesAllEngines, GatherScatterRoundTrip) {
+  World world(fast_config(GetParam()));
+  std::thread r1([&] {
+    const int32_t mine = 11;
+    world.comm(1).gather(&mine, sizeof(mine), nullptr, 0);
+    int32_t got = -1;
+    world.comm(1).scatter(nullptr, sizeof(int32_t), &got, 0);
+    EXPECT_EQ(got, 1011);
+  });
+  const int32_t mine = 10;
+  std::vector<int32_t> all(2, -1);
+  world.comm(0).gather(&mine, sizeof(mine), all.data(), 0);
+  EXPECT_EQ(all[0], 10);
+  EXPECT_EQ(all[1], 11);
+  for (auto& v : all) v += 1000;
+  int32_t got = -1;
+  world.comm(0).scatter(all.data(), sizeof(int32_t), &got, 0);
+  EXPECT_EQ(got, 1010);
+  r1.join();
+}
+
+TEST_P(CollectivesAllEngines, AlltoallExchangesBlocks) {
+  World world(fast_config(GetParam()));
+  std::thread r1([&] {
+    const std::vector<int32_t> src{21, 22};
+    std::vector<int32_t> dst(2, -1);
+    world.comm(1).alltoall(src.data(), sizeof(int32_t), dst.data());
+    EXPECT_EQ(dst[0], 12);  // rank 0's block for rank 1
+    EXPECT_EQ(dst[1], 22);  // own block
+  });
+  const std::vector<int32_t> src{11, 12};
+  std::vector<int32_t> dst(2, -1);
+  world.comm(0).alltoall(src.data(), sizeof(int32_t), dst.data());
+  EXPECT_EQ(dst[0], 11);  // own block
+  EXPECT_EQ(dst[1], 21);  // rank 1's block for rank 0
+  r1.join();
+}
+
 TEST_P(CollectivesAllEngines, BcastRejectsBadRoot) {
   World world(fast_config(GetParam()));
   char b = 0;

@@ -171,6 +171,27 @@ TEST(MachineSpec, RejectsJunk) {
   EXPECT_THROW(static_cast<void>(Machine::from_spec("bogus=2")), std::invalid_argument);
   EXPECT_THROW(static_cast<void>(Machine::from_spec("cores")), std::invalid_argument);
   EXPECT_THROW(static_cast<void>(Machine::from_spec("cores=-1")), std::invalid_argument);
+  // Malformed flat: counts — empty, non-numeric, negative.
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("flat:")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("flat:abc")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("flat:-4")), std::invalid_argument);
+  // Malformed key=value lists — zero values, missing key, missing value,
+  // empty items from stray commas, unparsable numbers.
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("numa=0")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("=3")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("numa=")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("numa=x")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec(",")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("numa=2,,cores=3")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(Machine::from_spec("qwerty")), std::invalid_argument);
+}
+
+TEST(MachineSpec, DegenerateButValidForms) {
+  // "l3" alone is a legal symmetric() spelling: 1 NUMA x 1 chip x 1 core
+  // with a cache level.
+  EXPECT_EQ(Machine::from_spec("l3").ncpus(), 1);
+  EXPECT_EQ(Machine::from_spec("cores=2").ncpus(), 2);
 }
 
 // Structural invariants that must hold for every machine shape.

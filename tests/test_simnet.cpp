@@ -141,6 +141,87 @@ TEST_F(SimnetTest, ConnectRejectsReuseAndSelf) {
   EXPECT_THROW(Fabric::connect(c, c), std::invalid_argument);
 }
 
+TEST_F(SimnetTest, ConnectErrorPathsLeaveNicsUsable) {
+  // A fresh NIC self-link must throw without corrupting the NIC: it stays
+  // connectable afterwards. Re-connecting either side of an established
+  // link throws, and a half-failed connect leaves no dangling peer.
+  Nic& c = fabric_.create_nic("c");
+  Nic& d = fabric_.create_nic("d");
+  EXPECT_THROW(Fabric::connect(c, c), std::invalid_argument);
+  EXPECT_EQ(c.peer(), nullptr);  // failed self-link left no wiring behind
+  Fabric::connect(c, d);
+  EXPECT_EQ(c.peer(), &d);
+  EXPECT_EQ(d.peer(), &c);
+  EXPECT_THROW(Fabric::connect(c, d), std::logic_error);  // double-connect
+  Nic& e = fabric_.create_nic("e");
+  EXPECT_THROW(Fabric::connect(e, d), std::logic_error);  // d already taken
+  EXPECT_THROW(Fabric::connect(c, e), std::logic_error);  // c already taken
+  EXPECT_EQ(e.peer(), nullptr);  // rejected connects left e untouched
+}
+
+TEST(SimnetMesh, FullMeshWiresEveryPairWithEveryRail) {
+  Fabric fabric(0.05);
+  constexpr int kNodes = 4, kRails = 2;
+  const Fabric::MeshWiring mesh =
+      fabric.create_full_mesh(kNodes, kRails);
+  // nodes*(nodes-1)/2 pairs, kRails links each, two NICs per link.
+  EXPECT_EQ(fabric.nic_count(),
+            static_cast<std::size_t>(kNodes * (kNodes - 1) * kRails));
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_TRUE(mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)]
+                    .empty());
+    for (int j = 0; j < kNodes; ++j) {
+      if (i == j) continue;
+      const auto& rails =
+          mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      ASSERT_EQ(rails.size(), static_cast<std::size_t>(kRails));
+      for (int r = 0; r < kRails; ++r) {
+        // Rail k of i->j is the back-to-back peer of rail k of j->i.
+        EXPECT_EQ(rails[static_cast<std::size_t>(r)]->peer(),
+                  mesh[static_cast<std::size_t>(j)]
+                      [static_cast<std::size_t>(i)][static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+}
+
+TEST(SimnetMesh, MeshLinksCarryTraffic) {
+  Fabric fabric(0.05);
+  const Fabric::MeshWiring mesh = fabric.create_full_mesh(3, 1);
+  // Push one message across every directed pair and check delivery.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      const uint8_t msg = static_cast<uint8_t>(0x40 + i * 3 + j);
+      uint8_t rx = 0;
+      mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)][0]
+          ->post_recv(&rx, 1, 1);
+      mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)][0]
+          ->post_send(&msg, 1, 2);
+      Completion c{};
+      ASSERT_TRUE(poll_until(
+          [&](Completion& out) {
+            return mesh[static_cast<std::size_t>(j)]
+                       [static_cast<std::size_t>(i)][0]
+                           ->poll_rx(out);
+          },
+          c));
+      EXPECT_EQ(rx, msg);
+    }
+  }
+}
+
+TEST(SimnetMesh, RejectsDegenerateShapes) {
+  Fabric fabric(0.05);
+  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(2, 0)),
+               std::invalid_argument);
+  EXPECT_EQ(fabric.nic_count(), 0u);  // failed meshes create nothing
+}
+
 TEST(LinkModel, CostsScaleWithSize) {
   LinkModel m;  // 1.5us latency, 1.25 GB/s, 0.3us overhead
   EXPECT_EQ(m.occupancy_ns(0), 0);
