@@ -27,6 +27,7 @@ double empty_scan_cost(bool double_check, int ncores, int iters) {
   TaskManagerConfig cfg;
   cfg.double_check = double_check;
   cfg.queue_stats = false;  // keep the stats RMW off the measured fast path
+  cfg.steal = false;        // measure Algorithm 2 alone, not the steal scan
   TaskManager tm(machine, cfg);
   std::atomic<bool> stop{false};
   std::vector<std::thread> scanners;

@@ -31,6 +31,7 @@ double run_point(bool hierarchy, int ncores, double duration_ms) {
   const topo::Machine machine = topo::Machine::kwak();
   TaskManagerConfig cfg;
   cfg.single_global_queue = !hierarchy;
+  cfg.steal = false;  // the ablation compares the paper's two layouts as-is
   TaskManager tm(machine, cfg);
   std::atomic<uint64_t> executions{0};
   std::deque<Task> tasks(static_cast<std::size_t>(ncores));

@@ -15,17 +15,23 @@ using namespace piom;
 
 TaskResult nop(void*) { return TaskResult::kDone; }
 
-std::unique_ptr<ITaskQueue> make_queue(int kind) {
+std::unique_ptr<ITaskQueue> make_queue(int kind, bool count_stats = true) {
   switch (kind) {
-    case 0: return std::make_unique<SpinTaskQueue>();
-    case 1: return std::make_unique<TicketTaskQueue>();
-    case 2: return std::make_unique<MutexTaskQueue>();
-    default: return std::make_unique<LockFreeTaskQueue>();
+    case 0:
+      return std::make_unique<SpinTaskQueue>(/*double_check=*/true,
+                                             count_stats);
+    case 1:
+      return std::make_unique<TicketTaskQueue>(/*double_check=*/true,
+                                               count_stats);
+    case 2:
+      return std::make_unique<MutexTaskQueue>(/*double_check=*/true,
+                                              count_stats);
+    default: return std::make_unique<LockFreeTaskQueue>(count_stats);
   }
 }
 
 void BM_EnqueueDequeue(benchmark::State& state) {
-  auto q = make_queue(static_cast<int>(state.range(0)));
+  auto q = make_queue(static_cast<int>(state.range(0)), state.range(1) != 0);
   Task task;
   task.init(&nop, nullptr, {}, kTaskNone);
   task.state.store(TaskState::kQueued);
@@ -35,8 +41,8 @@ void BM_EnqueueDequeue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnqueueDequeue)
-    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
-    ->ArgName("kind");
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 0}})
+    ->ArgNames({"kind", "stats"});
 
 void BM_EnqueueDequeueContended(benchmark::State& state) {
   // One queue shared by all benchmark threads; each thread cycles its own
@@ -65,15 +71,33 @@ BENCHMARK(BM_EnqueueDequeueContended)
     ->UseRealTime();
 
 void BM_EmptyCheck(benchmark::State& state) {
-  // Algorithm 2's fast path: try_dequeue on an empty queue.
-  SpinTaskQueue with_check(/*double_check=*/true);
-  SpinTaskQueue without(/*double_check=*/false);
-  SpinTaskQueue& q = state.range(0) != 0 ? with_check : without;
+  // Algorithm 2's fast path: try_dequeue on an empty queue. The stats
+  // dimension isolates the empty-check counter RMW — with stats off the
+  // path must cost a single acquire load (the zero-cost-off guarantee the
+  // TaskManagerConfig::queue_stats switch documents).
+  SpinTaskQueue q(/*double_check=*/state.range(0) != 0,
+                  /*count_stats=*/state.range(1) != 0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(q.try_dequeue());
   }
 }
-BENCHMARK(BM_EmptyCheck)->Arg(1)->Arg(0)->ArgName("double_check");
+BENCHMARK(BM_EmptyCheck)
+    ->ArgsProduct({{1, 0}, {1, 0}})
+    ->ArgNames({"double_check", "stats"});
+
+void BM_EmptyStealScan(benchmark::State& state) {
+  // A thief scanning an empty victim: must match the empty-check fast path
+  // (no lock, no counter) so idle cores can afford wide victim scans.
+  auto q = make_queue(static_cast<int>(state.range(0)),
+                      /*count_stats=*/false);
+  Task* out[4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->try_steal(0, 4, out));
+  }
+}
+BENCHMARK(BM_EmptyStealScan)
+    ->Arg(0)->Arg(3)
+    ->ArgName("kind");
 
 }  // namespace
 

@@ -1,0 +1,169 @@
+// Work-stealing bench: the single-chip-hot imbalance the paper's Algorithm 1
+// cannot recover from.
+//
+// All tasks are runnable anywhere (empty CpuSet) but submitted — locality
+// hint — into the queues of chip #0 only, the pattern of a producer thread
+// pinned to one chip flooding its local branch (e.g. §IV-B submission
+// offload landing everything near the submitter). Without stealing only
+// chip #0's cores can reach that branch and every other core busy-polls an
+// empty hierarchy; with stealing the idle branches drain the hot chip in
+// locality order. Reported: makespan of draining N such tasks with one
+// scheduling thread per simulated core, swept over steal on/off and every
+// QueueKind, on both paper topologies.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/task_manager.hpp"
+#include "topo/machine.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace piom;
+
+/// Per-task CPU work. Trivial tasks drain inside one OS timeslice and the
+/// makespan would only measure scheduler noise; a real compute grain makes
+/// the cost of cores that *cannot* participate visible.
+double g_task_burn_us = 25;
+
+TaskResult burn_and_count(void* arg) {
+  util::burn_cpu_us(g_task_burn_us);
+  static_cast<std::atomic<int>*>(arg)->fetch_add(1, std::memory_order_relaxed);
+  return TaskResult::kDone;
+}
+
+struct PointResult {
+  double makespan_ms = 0;
+  uint64_t stolen = 0;       ///< tasks that changed branches
+  int participating = 0;     ///< cores that executed >= 1 task
+};
+
+/// Drain `ntasks` anywhere-runnable tasks hinted into chip 0's core queues,
+/// one scheduling thread per core. Returns the median makespan over `reps`.
+PointResult run_point(const topo::Machine& machine, QueueKind kind,
+                      bool steal, int steal_batch, int ntasks, int reps) {
+  TaskManagerConfig cfg;
+  cfg.queue_kind = kind;
+  cfg.steal = steal;
+  cfg.steal_batch = steal_batch;
+  // The measured path is the drain, not the counters.
+  cfg.queue_stats = false;
+  TaskManager tm(machine, cfg);
+  // Chip 0's core queues: the cores covered by the first chip-level node.
+  const topo::TopoNode* chip0 = nullptr;
+  for (const auto& n : machine.nodes()) {
+    if (n->level == topo::Level::kChip) {
+      chip0 = n.get();
+      break;
+    }
+  }
+  std::vector<int> hot_cores;
+  for (int c = chip0->cpus.first(); c >= 0; c = chip0->cpus.next(c)) {
+    hot_cores.push_back(c);
+  }
+
+  std::vector<double> makespans;
+  uint64_t stolen_total = 0;
+  int participating = 0;
+  std::deque<Task> tasks(static_cast<std::size_t>(ntasks));
+  for (int rep = 0; rep < reps; ++rep) {
+    std::atomic<int> done{0};
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop{false};
+    tm.reset_stats();
+    for (int i = 0; i < ntasks; ++i) {
+      Task& t = tasks[static_cast<std::size_t>(i)];
+      t.init(&burn_and_count, &done, {}, kTaskNone);
+      tm.submit_to(&t, machine.core_node(
+                           hot_cores[static_cast<std::size_t>(i) %
+                                     hot_cores.size()]));
+    }
+    std::vector<std::thread> schedulers;
+    for (int c = 0; c < machine.ncpus(); ++c) {
+      schedulers.emplace_back([&, c] {
+        bench::pin_self(c);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        while (!stop.load(std::memory_order_acquire)) tm.schedule(c);
+      });
+    }
+    const int64_t t0 = util::now_ns();
+    go.store(true, std::memory_order_release);
+    while (done.load(std::memory_order_acquire) < ntasks) {
+      std::this_thread::yield();
+    }
+    const int64_t t1 = util::now_ns();
+    stop.store(true, std::memory_order_release);
+    for (auto& th : schedulers) th.join();
+    makespans.push_back(static_cast<double>(t1 - t0) / 1e6);
+    for (int c = 0; c < machine.ncpus(); ++c) {
+      const CoreStats cs = tm.core_stats(c);
+      stolen_total += cs.tasks_stolen;
+      if (cs.tasks_run > 0) ++participating;
+    }
+  }
+  PointResult r;
+  std::sort(makespans.begin(), makespans.end());
+  r.makespan_ms = makespans[makespans.size() / 2];
+  r.stolen = stolen_total / static_cast<uint64_t>(reps);
+  r.participating = participating / reps;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = piom::bench::quick_mode(argc, argv);
+  const int ntasks = quick ? 1200 : 4000;
+  const int reps = quick ? 3 : 5;
+  const int steal_batch = 4;
+  piom::bench::JsonReport report("bench_steal_imbalance", argc, argv);
+
+  std::printf("=== Work stealing — single-chip-hot imbalance ===\n");
+  std::printf(
+      "%d anywhere-runnable tasks (%.0f us of compute each) hinted into\n"
+      "chip #0's queues; one scheduling thread per simulated core; makespan\n"
+      "to drain (median of %d). Expected shape: steal-on beats steal-off\n"
+      "wherever more cores than chip #0's can participate; on oversubscribed\n"
+      "hosts steal-off additionally wastes timeslices on cores that can\n"
+      "never reach the hot branch.\n\n",
+      ntasks, g_task_burn_us, reps);
+  std::printf("%-12s %-11s %-7s %12s %10s %8s\n", "machine", "queue", "steal",
+              "makespan_ms", "stolen", "cores");
+
+  for (const char* spec : {"borderline", "kwak"}) {
+    const piom::topo::Machine machine = piom::topo::Machine::from_spec(spec);
+    for (const QueueKind kind :
+         {QueueKind::kSpin, QueueKind::kTicket, QueueKind::kMutex,
+          QueueKind::kLockFree}) {
+      for (const bool steal : {false, true}) {
+        const PointResult r =
+            run_point(machine, kind, steal, steal_batch, ntasks, reps);
+        std::printf("%-12s %-11s %-7s %12.2f %10llu %8d\n", spec,
+                    queue_kind_name(kind), steal ? "on" : "off",
+                    r.makespan_ms,
+                    static_cast<unsigned long long>(r.stolen),
+                    r.participating);
+        std::fflush(stdout);
+        report.row()
+            .str("machine", spec)
+            .str("queue", queue_kind_name(kind))
+            .str("steal", steal ? "on" : "off")
+            .num("tasks", ntasks)
+            .num("task_burn_us", g_task_burn_us)
+            .num("steal_batch", steal_batch)
+            .num("makespan_ms", r.makespan_ms)
+            .num("stolen_tasks", static_cast<double>(r.stolen))
+            .num("participating_cores", r.participating);
+      }
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

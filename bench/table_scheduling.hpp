@@ -38,7 +38,7 @@ class SchedulingBench {
  public:
   SchedulingBench(const topo::Machine& machine, TaskManagerConfig tm_cfg,
                   SchedulingBenchConfig cfg)
-      : machine_(machine), tm_(machine, tm_cfg), cfg_(cfg) {
+      : machine_(machine), tm_(machine, disable_steal(tm_cfg)), cfg_(cfg) {
     // Pollers for every core except #0 (the measuring thread *is* core #0).
     for (int c = 1; c < machine_.ncpus(); ++c) {
       pollers_.emplace_back([this, c] {
@@ -96,6 +96,15 @@ class SchedulingBench {
   TaskManager& task_manager() { return tm_; }
 
  private:
+  /// This harness measures the paper's plain Algorithm 1 (Tables I/II and
+  /// the double-check/lock ablations): work stealing must stay out of the
+  /// poller loops so rows remain comparable with pre-stealing baselines.
+  /// bench_steal_imbalance measures the stealing side.
+  static TaskManagerConfig disable_steal(TaskManagerConfig cfg) {
+    cfg.steal = false;
+    return cfg;
+  }
+
   static TaskResult empty_fn(void*) { return TaskResult::kDone; }
 
   void run_batch(const topo::CpuSet& cpus, int n) {

@@ -38,8 +38,11 @@ int AioManager::poll_disk(SimDisk& disk) {
     auto* req = reinterpret_cast<IoRequest*>(c.wrid);
     req->bytes = c.bytes;
     req->ok = c.ok;
-    req->done.store(true, std::memory_order_release);
+    // Post first, publish `done` last: an owner observing done == true
+    // (wait()'s fast path or a completed() poll) may immediately destroy
+    // the request, so the `done` store must be our final touch.
     req->sem.post();
+    req->done.store(true, std::memory_order_release);
     completions_.fetch_add(1, std::memory_order_relaxed);
     inflight_.fetch_sub(1, std::memory_order_release);
     ++events;
@@ -73,6 +76,10 @@ void AioManager::shutdown() {
     while (!dp.task.completed()) {
       tm_.schedule(cpu);
     }
+    // kTaskNotify contract: the completion post is the scheduler's *last*
+    // touch of the task — consume it before this DiskPoll (which embeds
+    // the task and its semaphore) may be destroyed.
+    dp.task.wait_done();
   }
 }
 

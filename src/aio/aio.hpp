@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <thread>
 #include <vector>
 
 #include "aio/disk.hpp"
@@ -36,8 +37,15 @@ struct IoRequest {
   [[nodiscard]] bool completed() const {
     return done.load(std::memory_order_acquire);
   }
+  /// Blocks until the completer has *fully finished* with the request:
+  /// the poller posts the wakeup first and publishes `done` last (its
+  /// final touch), so storage may be reclaimed once wait() returns.
   void wait() {
-    while (!completed()) sem.wait();
+    if (completed()) return;
+    sem.wait();
+    // The trailing done store is normally a few instructions behind the
+    // post; yield in case the poller was preempted right between them.
+    while (!completed()) std::this_thread::yield();
   }
 
   void reset() {

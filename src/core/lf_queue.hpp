@@ -19,44 +19,64 @@ namespace piom {
 
 class LockFreeTaskQueue final : public ITaskQueue {
  public:
-  LockFreeTaskQueue() = default;
+  /// `count_stats=false` removes every statistics RMW from the hot paths
+  /// (the structural size_ counter stays — the double-checked emptiness
+  /// scan needs it).
+  explicit LockFreeTaskQueue(bool count_stats = true)
+      : count_stats_(count_stats) {}
 
   void enqueue(Task* task) override {
-    Head old_head = head_.load(std::memory_order_relaxed);
-    Head new_head{};
-    do {
-      task->next = old_head.top;
-      new_head.top = task;
-      new_head.tag = old_head.tag + 1;
-    } while (!head_.compare_exchange_weak(old_head, new_head,
-                                          std::memory_order_release,
-                                          std::memory_order_relaxed));
+    push(task);
     size_.fetch_add(1, std::memory_order_relaxed);
-    enqueues_.fetch_add(1, std::memory_order_relaxed);
+    if (count_stats_) enqueues_.fetch_add(1, std::memory_order_relaxed);
   }
 
   Task* try_dequeue() override {
-    Head old_head = head_.load(std::memory_order_acquire);
-    Head new_head{};
-    Task* task = nullptr;
-    do {
-      task = old_head.top;
-      if (task == nullptr) {
-        empty_checks_.fetch_add(1, std::memory_order_relaxed);
-        return nullptr;
-      }
-      // Reading task->next is safe: tasks are never freed while queued
-      // (they are embedded in live request objects), and the tag defeats
-      // ABA if the same task is popped and re-pushed concurrently.
-      new_head.top = task->next;
-      new_head.tag = old_head.tag + 1;
-    } while (!head_.compare_exchange_weak(old_head, new_head,
-                                          std::memory_order_acquire,
-                                          std::memory_order_relaxed));
+    Task* task = pop();
+    if (task == nullptr) {
+      if (count_stats_) empty_checks_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
     size_.fetch_sub(1, std::memory_order_relaxed);
-    dequeues_.fetch_add(1, std::memory_order_relaxed);
-    task->next = nullptr;
+    if (count_stats_) dequeues_.fetch_add(1, std::memory_order_relaxed);
+    task->next.store(nullptr, std::memory_order_relaxed);
     return task;
+  }
+
+  std::size_t try_steal(int thief_cpu, std::size_t max_n,
+                        Task** out) override {
+    // A Treiber stack has a single access end, so "the cold end" does not
+    // exist: thieves pop from the same head CAS as everyone else — which is
+    // already the contention model of this backend. A bounded pop-scan
+    // keeps the thief wait-bounded: ineligible tasks (cpuset forbids the
+    // thief) are pushed straight back and the scan gives up after
+    // kStealScanBound pops so a wall of pinned tasks cannot trap it.
+    if (max_n == 0 || size_.load(std::memory_order_acquire) == 0) return 0;
+    Task* put_back[kStealScanBound];
+    std::size_t taken = 0;
+    std::size_t nback = 0;
+    while (taken < max_n && nback < kStealScanBound) {
+      Task* t = pop();
+      if (t == nullptr) break;
+      if (task_allowed_on(*t, thief_cpu)) {
+        t->next.store(nullptr, std::memory_order_relaxed);
+        out[taken++] = t;
+      } else {
+        put_back[nback++] = t;
+      }
+    }
+    // Restore ineligible tasks in reverse so their LIFO order survives.
+    for (std::size_t i = nback; i-- > 0;) push(put_back[i]);
+    if (taken > 0) size_.fetch_sub(taken, std::memory_order_relaxed);
+    if (count_stats_) {
+      if (taken > 0) {
+        steal_hits_.fetch_add(1, std::memory_order_relaxed);
+        stolen_tasks_.fetch_add(taken, std::memory_order_relaxed);
+      } else {
+        steal_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return taken;
   }
 
   [[nodiscard]] std::size_t size_approx() const override {
@@ -69,6 +89,9 @@ class LockFreeTaskQueue final : public ITaskQueue {
     s.dequeues = dequeues_.load(std::memory_order_relaxed);
     s.empty_checks = empty_checks_.load(std::memory_order_relaxed);
     s.lock_acquisitions = 0;  // lock-free: no lock
+    s.steal_hits = steal_hits_.load(std::memory_order_relaxed);
+    s.steal_misses = steal_misses_.load(std::memory_order_relaxed);
+    s.stolen_tasks = stolen_tasks_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -84,11 +107,47 @@ class LockFreeTaskQueue final : public ITaskQueue {
     bool operator==(const Head&) const = default;
   };
 
+  static constexpr std::size_t kStealScanBound = 8;
+
+  void push(Task* task) {
+    Head old_head = head_.load(std::memory_order_relaxed);
+    Head new_head{};
+    do {
+      task->next.store(old_head.top, std::memory_order_relaxed);
+      new_head.top = task;
+      new_head.tag = old_head.tag + 1;
+    } while (!head_.compare_exchange_weak(old_head, new_head,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  Task* pop() {
+    Head old_head = head_.load(std::memory_order_acquire);
+    Head new_head{};
+    Task* task = nullptr;
+    do {
+      task = old_head.top;
+      if (task == nullptr) return nullptr;
+      // Reading task->next is safe: tasks are never freed while queued
+      // (they are embedded in live request objects), and the tag defeats
+      // ABA if the same task is popped and re-pushed concurrently.
+      new_head.top = task->next.load(std::memory_order_relaxed);
+      new_head.tag = old_head.tag + 1;
+    } while (!head_.compare_exchange_weak(old_head, new_head,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed));
+    return task;
+  }
+
   std::atomic<Head> head_{};
   alignas(sync::kCacheLine) std::atomic<std::size_t> size_{0};
   alignas(sync::kCacheLine) std::atomic<uint64_t> enqueues_{0};
   std::atomic<uint64_t> dequeues_{0};
   std::atomic<uint64_t> empty_checks_{0};
+  std::atomic<uint64_t> steal_hits_{0};
+  std::atomic<uint64_t> steal_misses_{0};
+  std::atomic<uint64_t> stolen_tasks_{0};
+  const bool count_stats_;
 };
 
 }  // namespace piom

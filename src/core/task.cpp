@@ -23,7 +23,7 @@ void Task::init(Fn f, void* a, const topo::CpuSet& cpus, uint32_t opts) {
   on_done = nullptr;
   cpuset = cpus;
   options = opts;
-  next = nullptr;
+  next.store(nullptr, std::memory_order_relaxed);
   run_count.store(0, std::memory_order_relaxed);
   last_cpu.store(-1, std::memory_order_relaxed);
   state.store(TaskState::kCreated, std::memory_order_release);

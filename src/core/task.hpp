@@ -69,7 +69,11 @@ struct Task {
 
   // ---- scheduler-owned state ----
   std::atomic<TaskState> state{TaskState::kCreated};
-  Task* next = nullptr;            ///< intrusive queue linkage
+  /// Intrusive queue linkage. Atomic because the lock-free queue publishes
+  /// it through a CAS on the queue head (plain relaxed accesses under the
+  /// locked queues' locks; the CAS provides the ordering in the lock-free
+  /// one).
+  std::atomic<Task*> next{nullptr};
   std::atomic<uint64_t> run_count{0};
   std::atomic<int> last_cpu{-1};   ///< core that last executed the task
   sync::Semaphore done_sem{0};     ///< posted on completion when kTaskNotify
@@ -88,6 +92,12 @@ struct Task {
   /// Block until completion. Requires kTaskNotify. Cheap spin first.
   void wait_done() { done_sem.wait(); }
 };
+
+/// True when `cpu` may legally execute `task` (an empty cpuset means any
+/// core). Shared by the scheduling walk and the queues' steal scans.
+[[nodiscard]] inline bool task_allowed_on(const Task& task, int cpu) {
+  return task.cpuset.empty() || task.cpuset.test(cpu);
+}
 
 /// Convenience adaptor owning a std::function; for examples/tests where the
 /// raw fn/arg interface is inconvenient. Completion semantics are identical.

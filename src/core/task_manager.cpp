@@ -1,5 +1,6 @@
 #include "core/task_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
@@ -33,7 +34,7 @@ std::unique_ptr<ITaskQueue> make_queue(const TaskManagerConfig& cfg) {
       return std::make_unique<MutexTaskQueue>(cfg.double_check,
                                               cfg.queue_stats);
     case QueueKind::kLockFree:
-      return std::make_unique<LockFreeTaskQueue>();
+      return std::make_unique<LockFreeTaskQueue>(cfg.queue_stats);
   }
   throw std::invalid_argument("unknown QueueKind");
 }
@@ -45,14 +46,26 @@ TaskManager::TaskManager(const topo::Machine& machine, TaskManagerConfig config)
   for (std::size_t i = 0; i < machine_.nnodes(); ++i) {
     queues_.push_back(make_queue(config_));
   }
-  core_stats_.resize(static_cast<std::size_t>(machine_.ncpus()));
+  core_stats_ = std::make_unique<sync::CacheAligned<CoreStatsCell>[]>(
+      static_cast<std::size_t>(machine_.ncpus()));
 }
 
 bool TaskManager::cpu_allowed(const Task& task, int cpu) {
-  return task.cpuset.empty() || task.cpuset.test(cpu);
+  return task_allowed_on(task, cpu);
 }
 
 void TaskManager::submit(Task* task) {
+  assert(task != nullptr);
+  // Urgent tasks bypass the hierarchy entirely — skip the covering-node
+  // tree walk on that latency-critical path (submit_to ignores the node
+  // for them anyway).
+  const topo::TopoNode& node = (task->options & kTaskUrgent) != 0
+                                   ? machine_.root()
+                                   : machine_.node_covering(task->cpuset);
+  submit_to(task, node);
+}
+
+void TaskManager::submit_to(Task* task, const topo::TopoNode& node) {
   assert(task != nullptr && task->fn != nullptr);
   const TaskState prev = task->state.exchange(TaskState::kQueued,
                                               std::memory_order_acq_rel);
@@ -67,10 +80,9 @@ void TaskManager::submit(Task* task) {
     if (urgent_notifier_) urgent_notifier_();
     return;
   }
-  const topo::TopoNode& node =
-      config_.single_global_queue ? machine_.root()
-                                  : machine_.node_covering(task->cpuset);
-  queues_[static_cast<std::size_t>(node.id)]->enqueue(task);
+  const topo::TopoNode& home =
+      config_.single_global_queue ? machine_.root() : node;
+  queues_[static_cast<std::size_t>(home.id)]->enqueue(task);
 }
 
 int TaskManager::run_urgent(int cpu) {
@@ -122,10 +134,16 @@ void TaskManager::run_task(Task* task, ITaskQueue& queue, int cpu) {
   }
   PIOM_TRACE(util::trace::Kind::kTaskDone, cpu,
              reinterpret_cast<uint64_t>(task));
+  // Read every field needed after completion *before* publishing kDone: an
+  // owner polling completed() may destroy the task storage the moment the
+  // store below is visible, so the store must be the scheduler's last
+  // access for plain tasks. (kTaskNotify owners are required to block in
+  // wait_done(), which makes the semaphore post the safe last touch.)
   const Task::DoneFn on_done = task->on_done;
-  assert(on_done == nullptr || (task->options & kTaskNotify) == 0);
+  const uint32_t options = task->options;
+  assert(on_done == nullptr || (options & kTaskNotify) == 0);
   task->state.store(TaskState::kDone, std::memory_order_release);
-  if ((task->options & kTaskNotify) != 0) {
+  if ((options & kTaskNotify) != 0) {
     // After this post the owner may reuse/destroy the task storage; do not
     // touch *task afterwards.
     task->done_sem.post();
@@ -160,12 +178,16 @@ int TaskManager::drain_queue(ITaskQueue& queue, int cpu) {
 }
 
 int TaskManager::schedule(int cpu) {
-  return schedule_from_level(cpu, topo::Level::kCore);
+  int executed = schedule_from_level(cpu, topo::Level::kCore);
+  // The whole branch is dry: go stealing (locality-ordered victim scan)
+  // instead of idling while another branch overflows.
+  if (executed == 0 && config_.steal) executed += steal(cpu);
+  return executed;
 }
 
 int TaskManager::schedule_from_level(int cpu, topo::Level shallowest) {
-  CoreStats& cs = *core_stats_[static_cast<std::size_t>(cpu)];
-  cs.schedule_calls++;
+  CoreStatsCell& cs = *core_stats_[static_cast<std::size_t>(cpu)];
+  cs.schedule_calls.fetch_add(1, std::memory_order_relaxed);
   // Urgent tasks first, regardless of the requested depth window.
   int executed = run_urgent(cpu);
   // Algorithm 1: "for Queue = Per_Core_Queue to Global_Queue do ..."
@@ -175,7 +197,58 @@ int TaskManager::schedule_from_level(int cpu, topo::Level shallowest) {
     }
     executed += drain_queue(*queues_[static_cast<std::size_t>(node->id)], cpu);
   }
-  cs.tasks_run += static_cast<uint64_t>(executed);
+  cs.tasks_run.fetch_add(static_cast<uint64_t>(executed),
+                         std::memory_order_relaxed);
+  return executed;
+}
+
+int TaskManager::steal(int cpu) {
+  return steal_bounded(cpu, config_.steal_batch);
+}
+
+int TaskManager::steal_bounded(int cpu, int max_batch) {
+  // The single-global-queue strawman has no off-path queues to steal from.
+  if (config_.single_global_queue) return 0;
+  CoreStatsCell& cs = *core_stats_[static_cast<std::size_t>(cpu)];
+  cs.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+  constexpr int kMaxBatch = 32;
+  Task* stolen[kMaxBatch];
+  const std::size_t batch =
+      static_cast<std::size_t>(std::clamp(max_batch, 1, kMaxBatch));
+  std::size_t taken = 0;
+  if (config_.steal_locality) {
+    for (const topo::TopoNode* victim : machine_.steal_order(cpu)) {
+      taken = queues_[static_cast<std::size_t>(victim->id)]->try_steal(
+          cpu, batch, stolen);
+      if (taken > 0) break;
+    }
+  } else {
+    // Locality ablation: flat id-order scan over off-path nodes (a node is
+    // on `cpu`'s path exactly when its span covers `cpu`).
+    for (const auto& nptr : machine_.nodes()) {
+      if (nptr->cpus.test(cpu)) continue;
+      taken = queues_[static_cast<std::size_t>(nptr->id)]->try_steal(
+          cpu, batch, stolen);
+      if (taken > 0) break;
+    }
+  }
+  if (taken == 0) return 0;
+  cs.steal_hits.fetch_add(1, std::memory_order_relaxed);
+  cs.tasks_stolen.fetch_add(taken, std::memory_order_relaxed);
+  // Stolen tasks migrate: repeatable ones re-enqueue into the thief's own
+  // per-core queue (eligibility was checked by try_steal), keeping the
+  // follow-up runs on the now-idle branch.
+  ITaskQueue& home =
+      *queues_[static_cast<std::size_t>(machine_.core_node(cpu).id)];
+  int executed = 0;
+  for (std::size_t i = 0; i < taken; ++i) {
+    PIOM_TRACE(util::trace::Kind::kTaskSteal, cpu,
+               reinterpret_cast<uint64_t>(stolen[i]));
+    run_task(stolen[i], home, cpu);
+    ++executed;
+  }
+  cs.tasks_run.fetch_add(static_cast<uint64_t>(executed),
+                         std::memory_order_relaxed);
   return executed;
 }
 
@@ -189,11 +262,11 @@ bool TaskManager::schedule_one(int cpu) {
       continue;
     }
     run_task(task, queue, cpu);
-    CoreStats& cs = *core_stats_[static_cast<std::size_t>(cpu)];
-    cs.tasks_run++;
+    CoreStatsCell& cs = *core_stats_[static_cast<std::size_t>(cpu)];
+    cs.tasks_run.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  return false;
+  return config_.steal && steal_bounded(cpu, 1) > 0;
 }
 
 void TaskManager::wait(Task& task, int cpu) {
@@ -214,11 +287,25 @@ std::size_t TaskManager::pending_approx() const {
 }
 
 CoreStats TaskManager::core_stats(int cpu) const {
-  return *core_stats_[static_cast<std::size_t>(cpu)];
+  const CoreStatsCell& cell = *core_stats_[static_cast<std::size_t>(cpu)];
+  CoreStats s;
+  s.tasks_run = cell.tasks_run.load(std::memory_order_relaxed);
+  s.schedule_calls = cell.schedule_calls.load(std::memory_order_relaxed);
+  s.steal_attempts = cell.steal_attempts.load(std::memory_order_relaxed);
+  s.steal_hits = cell.steal_hits.load(std::memory_order_relaxed);
+  s.tasks_stolen = cell.tasks_stolen.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TaskManager::reset_stats() {
-  for (auto& cs : core_stats_) *cs = CoreStats{};
+  for (int c = 0; c < machine_.ncpus(); ++c) {
+    CoreStatsCell& cs = *core_stats_[static_cast<std::size_t>(c)];
+    cs.tasks_run.store(0, std::memory_order_relaxed);
+    cs.schedule_calls.store(0, std::memory_order_relaxed);
+    cs.steal_attempts.store(0, std::memory_order_relaxed);
+    cs.steal_hits.store(0, std::memory_order_relaxed);
+    cs.tasks_stolen.store(0, std::memory_order_relaxed);
+  }
   submissions_.store(0, std::memory_order_relaxed);
 }
 
@@ -226,7 +313,8 @@ std::string TaskManager::dump() const {
   std::ostringstream os;
   os << "TaskManager(" << queue_kind_name(config_.queue_kind)
      << ", double_check=" << (config_.double_check ? "on" : "off")
-     << ", hierarchy=" << (config_.single_global_queue ? "off" : "on") << ")\n";
+     << ", hierarchy=" << (config_.single_global_queue ? "off" : "on")
+     << ", steal=" << (config_.steal ? "on" : "off") << ")\n";
   for (const auto& nptr : machine_.nodes()) {
     const ITaskQueue& q = *queues_[static_cast<std::size_t>(nptr->id)];
     const QueueStats s = q.stats();
@@ -235,7 +323,8 @@ std::string TaskManager::dump() const {
     os << nptr->name() << ": pending=" << q.size_approx()
        << " enq=" << s.enqueues << " deq=" << s.dequeues
        << " empty_checks=" << s.empty_checks
-       << " locks=" << s.lock_acquisitions << "\n";
+       << " locks=" << s.lock_acquisitions << " stolen=" << s.stolen_tasks
+       << "\n";
   }
   return os.str();
 }

@@ -43,6 +43,19 @@ struct TaskManagerConfig {
   /// size snapshot (default). Prevents one core from being stuck forever in
   /// a queue where repeatable tasks keep re-enqueueing themselves.
   int max_tasks_per_pass = 0;
+  /// Topology-aware work stealing (extension — the paper names stealing as
+  /// future work): when a core's own branch of the hierarchy is empty,
+  /// schedule() scans victim queues in locality order and takes tasks whose
+  /// CpuSet allows this core. With `steal=false` the scheduler reproduces
+  /// the paper's Algorithm 1 exactly.
+  bool steal = true;
+  /// Scan victims in Machine::steal_order() locality order (cache siblings
+  /// first, then chip, NUMA, machine). false = flat node-id order, the
+  /// locality ablation.
+  bool steal_locality = true;
+  /// Max tasks taken from the first victim with eligible work per steal
+  /// attempt (clamped to [1, 32]).
+  int steal_batch = 1;
 };
 
 /// Per-core execution counters (the paper reports the distribution of task
@@ -50,6 +63,9 @@ struct TaskManagerConfig {
 struct CoreStats {
   uint64_t tasks_run = 0;
   uint64_t schedule_calls = 0;
+  uint64_t steal_attempts = 0;  ///< victim scans started by this core
+  uint64_t steal_hits = 0;      ///< scans that stole at least one task
+  uint64_t tasks_stolen = 0;    ///< tasks this core took from other branches
 };
 
 class TaskManager {
@@ -67,11 +83,27 @@ class TaskManager {
   /// completed().
   void submit(Task* task);
 
+  /// Submit with an explicit home queue — a locality hint: the task goes to
+  /// `node`'s queue even when that node does not cover the task's cpuset
+  /// (e.g. an anywhere-runnable task dropped into the submitter's per-core
+  /// queue for its ~6x cheaper fast path, Table I). Cores outside `node`'s
+  /// branch reach such a task only by stealing; with stealing disabled it
+  /// waits for an allowed core under `node`. Urgent tasks ignore the hint.
+  void submit_to(Task* task, const topo::TopoNode& node);
+
   /// Algorithm 1, executed on behalf of core `cpu`: drain the Per-Core
   /// queue, then each ancestor queue up to the Global queue. Repeatable
-  /// tasks that return kAgain are re-enqueued into the same queue.
-  /// Returns the number of task executions performed.
+  /// tasks that return kAgain are re-enqueued into the same queue. When the
+  /// whole branch is dry and config().steal is set, falls through to one
+  /// steal() attempt. Returns the number of task executions performed.
   int schedule(int cpu);
+
+  /// One work-stealing attempt on behalf of `cpu`: scan victim queues in
+  /// locality order (config().steal_locality) and run up to
+  /// config().steal_batch eligible tasks from the first victim that yields
+  /// any. Stolen repeatable tasks migrate: a kAgain re-enqueue goes to
+  /// `cpu`'s per-core queue, not back to the victim. Returns tasks run.
+  int steal(int cpu);
 
   /// schedule() bounded to queues at or above `max_depth_level` — the timer
   /// hook uses this to service only the Global queue.
@@ -122,16 +154,30 @@ class TaskManager {
   [[nodiscard]] std::string dump() const;
 
  private:
+  /// CoreStats with atomic counters: a core's stats are mostly touched by
+  /// one thread, but foreign threads may schedule on a hashed core id
+  /// (Runtime::schedule_here), so the increments must be data-race-free.
+  struct CoreStatsCell {
+    std::atomic<uint64_t> tasks_run{0};
+    std::atomic<uint64_t> schedule_calls{0};
+    std::atomic<uint64_t> steal_attempts{0};
+    std::atomic<uint64_t> steal_hits{0};
+    std::atomic<uint64_t> tasks_stolen{0};
+  };
+
   int drain_queue(ITaskQueue& queue, int cpu);
   /// Execute one task; re-enqueue on kAgain+kRepeat; returns kDone-or-not.
   void run_task(Task* task, ITaskQueue& queue, int cpu);
+  /// steal() bounded to `max_batch` tasks (schedule_one steals single).
+  int steal_bounded(int cpu, int max_batch);
 
   const topo::Machine& machine_;
   TaskManagerConfig config_;
   std::vector<std::unique_ptr<ITaskQueue>> queues_;  // index = TopoNode::id
   SpinTaskQueue urgent_queue_;
   std::function<void()> urgent_notifier_;
-  std::vector<sync::CacheAligned<CoreStats>> core_stats_;
+  // Fixed array (atomics are not movable, so no vector).
+  std::unique_ptr<sync::CacheAligned<CoreStatsCell>[]> core_stats_;
   std::atomic<uint64_t> submissions_{0};
 };
 

@@ -6,7 +6,11 @@
 // touches the lock and causes no cache-line contention.
 //
 // The queue is an intrusive FIFO (head/tail of Task::next); enqueue and
-// dequeue are O(1) under the lock.
+// dequeue are O(1) under the lock. try_steal() is the work-stealing entry:
+// it detaches tasks from the *tail* end — the end the owner never dequeues
+// from — so thieves and the owner's fast path collide as little as a single
+// lock allows, and an (apparently) empty victim is skipped without locking,
+// exactly like Algorithm 2.
 #pragma once
 
 #include <atomic>
@@ -20,12 +24,15 @@
 namespace piom {
 
 /// Queue statistics the benchmarks report (per-core task distribution,
-/// lock acquisitions avoided by the double-check).
+/// lock acquisitions avoided by the double-check, steal traffic).
 struct QueueStats {
   uint64_t enqueues = 0;
   uint64_t dequeues = 0;
   uint64_t empty_checks = 0;   ///< try_dequeue calls that skipped the lock
   uint64_t lock_acquisitions = 0;
+  uint64_t steal_hits = 0;     ///< try_steal scans that took >= 1 task
+  uint64_t steal_misses = 0;   ///< try_steal scans that found nothing eligible
+  uint64_t stolen_tasks = 0;   ///< tasks removed from this queue by thieves
 };
 
 /// Interface shared by the locked and lock-free implementations so the
@@ -40,6 +47,14 @@ class ITaskQueue {
   /// Algorithm 2: nullptr when (apparently) empty, without locking.
   virtual Task* try_dequeue() = 0;
 
+  /// Work stealing: detach up to `max_n` queued tasks that `thief_cpu` may
+  /// run (Task::cpuset check) into `out` and return how many were taken.
+  /// Tasks come from the cold (non-owner) end where the backend has one;
+  /// an (apparently) empty queue is skipped without locking. Stolen tasks
+  /// stay in state kQueued — the thief must run them.
+  [[nodiscard]] virtual std::size_t try_steal(int thief_cpu, std::size_t max_n,
+                                              Task** out) = 0;
+
   /// Approximate size (exact between quiescent points).
   [[nodiscard]] virtual std::size_t size_approx() const = 0;
 
@@ -53,27 +68,28 @@ class ITaskQueue {
 template <typename Lock>
 class LockedTaskQueue final : public ITaskQueue {
  public:
-  /// `count_empty_checks=false` removes the stats RMW from the empty fast
-  /// path — an atomic increment on a shared counter bounces the cache line
-  /// between scanning cores and can dominate exactly the contention-free
-  /// path Algorithm 2 exists to provide (the ablation bench disables it).
-  explicit LockedTaskQueue(bool double_check = true,
-                           bool count_empty_checks = true)
-      : double_check_(double_check),
-        count_empty_checks_(count_empty_checks) {}
+  /// `count_stats=false` removes every statistics update from the hot
+  /// paths — in particular the atomic RMW on the shared empty-check
+  /// counter, which bounces its cache line between scanning cores and can
+  /// dominate exactly the contention-free path Algorithm 2 exists to
+  /// provide (the ablation bench and stats-off TaskManagerConfig use it).
+  explicit LockedTaskQueue(bool double_check = true, bool count_stats = true)
+      : double_check_(double_check), count_stats_(count_stats) {}
 
   void enqueue(Task* task) override {
-    task->next = nullptr;
+    task->next.store(nullptr, std::memory_order_relaxed);
     lock_.lock();
     if (tail_ == nullptr) {
       head_ = tail_ = task;
     } else {
-      tail_->next = task;
+      tail_->next.store(task, std::memory_order_relaxed);
       tail_ = task;
     }
     size_.fetch_add(1, std::memory_order_relaxed);
-    stats_.enqueues++;
-    stats_.lock_acquisitions++;
+    if (count_stats_) {
+      stats_.enqueues++;
+      stats_.lock_acquisitions++;
+    }
     lock_.unlock();
   }
 
@@ -81,24 +97,83 @@ class LockedTaskQueue final : public ITaskQueue {
     // Algorithm 2: evaluate the queue content without holding the mutex "in
     // order to avoid unnecessary contention".
     if (double_check_ && size_.load(std::memory_order_acquire) == 0) {
-      if (count_empty_checks_) {
+      if (count_stats_) {
         empty_checks_.fetch_add(1, std::memory_order_relaxed);
       }
       return nullptr;
     }
     Task* task = nullptr;
     lock_.lock();
-    stats_.lock_acquisitions++;
+    if (count_stats_) stats_.lock_acquisitions++;
     if (head_ != nullptr) {  // "the list state is checked once again"
       task = head_;
-      head_ = task->next;
+      head_ = task->next.load(std::memory_order_relaxed);
       if (head_ == nullptr) tail_ = nullptr;
       size_.fetch_sub(1, std::memory_order_relaxed);
-      stats_.dequeues++;
+      if (count_stats_) stats_.dequeues++;
     }
     lock_.unlock();
-    if (task != nullptr) task->next = nullptr;
+    if (task != nullptr) task->next.store(nullptr, std::memory_order_relaxed);
     return task;
+  }
+
+  std::size_t try_steal(int thief_cpu, std::size_t max_n,
+                        Task** out) override {
+    if (max_n == 0) return 0;
+    // Thieves scan many victims; the Algorithm-2 pre-check keeps a scan
+    // over empty queues lock-free, like the owner's own hierarchy walk.
+    if (double_check_ && size_.load(std::memory_order_acquire) == 0) {
+      return 0;
+    }
+    std::size_t taken = 0;
+    lock_.lock();
+    if (count_stats_) stats_.lock_acquisitions++;
+    // Pass 1: how many queued tasks may the thief run at all?
+    std::size_t eligible = 0;
+    for (Task* t = head_; t != nullptr;
+         t = t->next.load(std::memory_order_relaxed)) {
+      if (task_allowed_on(*t, thief_cpu)) ++eligible;
+    }
+    if (eligible > 0) {
+      const std::size_t want = eligible < max_n ? eligible : max_n;
+      // Steal from the tail end: skip the first eligible tasks so the
+      // owner keeps the head — its dequeue end — to itself.
+      std::size_t skip = eligible - want;
+      Task* prev = nullptr;
+      Task* t = head_;
+      while (t != nullptr && taken < want) {
+        Task* const after = t->next.load(std::memory_order_relaxed);
+        if (task_allowed_on(*t, thief_cpu)) {
+          if (skip > 0) {
+            --skip;
+            prev = t;
+          } else {
+            if (prev != nullptr) {
+              prev->next.store(after, std::memory_order_relaxed);
+            } else {
+              head_ = after;
+            }
+            if (t == tail_) tail_ = prev;
+            t->next.store(nullptr, std::memory_order_relaxed);
+            out[taken++] = t;
+          }
+        } else {
+          prev = t;
+        }
+        t = after;
+      }
+      size_.fetch_sub(taken, std::memory_order_relaxed);
+    }
+    if (count_stats_) {
+      if (taken > 0) {
+        stats_.steal_hits++;
+        stats_.stolen_tasks += taken;
+      } else {
+        stats_.steal_misses++;
+      }
+    }
+    lock_.unlock();
+    return taken;
   }
 
   [[nodiscard]] std::size_t size_approx() const override {
@@ -106,20 +181,24 @@ class LockedTaskQueue final : public ITaskQueue {
   }
 
   [[nodiscard]] QueueStats stats() const override {
+    // stats_ is written under the lock; read it under the lock too so a
+    // live dump()/stats() never races with enqueuers (TSan-clean).
+    lock_.lock();
     QueueStats s = stats_;
+    lock_.unlock();
     s.empty_checks = empty_checks_.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
-  Lock lock_;
+  mutable Lock lock_;
   Task* head_ = nullptr;
   Task* tail_ = nullptr;
   alignas(sync::kCacheLine) std::atomic<std::size_t> size_{0};
   alignas(sync::kCacheLine) std::atomic<uint64_t> empty_checks_{0};
   QueueStats stats_;  // updated under lock_
   const bool double_check_;
-  const bool count_empty_checks_;
+  const bool count_stats_;
 };
 
 using SpinTaskQueue = LockedTaskQueue<sync::SpinLock>;

@@ -138,11 +138,11 @@ void PiomanEngine::wait(Request& req) {
   nmad::RequestCore& core = req.req_core();
   if (core.completed()) return;
   // Blocking hook: one progression pass, core advertised as available, then
-  // park on the semaphore — the background tasks do the polling. The loop
-  // tolerates repeated waits on the same request (the completion token is
-  // drained by RequestCore::reset on reuse).
+  // park on the semaphore — the background tasks do the polling. Repeated
+  // waits on the same request are fine (wait_done's completed() fast path;
+  // the completion token is drained by RequestCore::reset on reuse).
   sched::BlockingSection bs(runtime_);
-  while (!core.completed()) core.sem.wait();
+  core.wait_done();
 }
 
 bool PiomanEngine::test(Request& req) {

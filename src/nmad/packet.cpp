@@ -6,8 +6,14 @@
 namespace piom::nmad {
 
 void PacketWrapper::append(const void* data, std::size_t len) {
-  const auto* p = static_cast<const uint8_t*>(data);
-  wire.insert(wire.end(), p, p + len);
+  // resize+memcpy rather than insert(first, last): GCC 12's -Warray-bounds/
+  // -Wstringop-overflow false-fire on the insert path once surrounding code
+  // inlines differently. Zero-length appends may carry data == nullptr
+  // (header-only packets), which memcpy must never see.
+  if (len == 0) return;
+  const std::size_t old_size = wire.size();
+  wire.resize(old_size + len);
+  std::memcpy(wire.data() + old_size, data, len);
 }
 
 void PacketWrapper::begin(const PktHeader& hdr) {

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "core/task.hpp"
@@ -24,11 +25,31 @@ struct RequestCore {
   sync::Semaphore sem{0};
 
   void complete() {
-    done.store(true, std::memory_order_release);
+    // Post the wakeup *first*, publish `done` *last*: an owner polling
+    // completed() (the engines' wait/test fast paths) may reclaim the
+    // request's storage the instant it observes done == true, so the
+    // `done` store must be the completer's final touch of this object.
+    // Parked waiters wake on the post and spin the few remaining
+    // instructions until the flag lands (wait_done below).
     sem.post();
+    done.store(true, std::memory_order_release);
   }
   [[nodiscard]] bool completed() const {
     return done.load(std::memory_order_acquire);
+  }
+  /// Block until complete() has *fully finished* — consuming the post
+  /// alone is not enough to reclaim storage, since the trailing `done`
+  /// store is the completer's last write.
+  void wait_done() {
+    if (completed()) return;
+    sem.wait();
+    while (!completed()) {
+      // complete() is between its post and its done store; normally a few
+      // instructions away, but yield in case the completer was preempted
+      // right there (otherwise this spin burns its whole timeslice on
+      // single-CPU hosts).
+      std::this_thread::yield();
+    }
   }
   void reset() {
     done.store(false, std::memory_order_relaxed);
@@ -52,7 +73,7 @@ struct SendRequest {
   SendRequest& operator=(const SendRequest&) = delete;
 
   [[nodiscard]] bool completed() const { return core.completed(); }
-  void wait() { core.sem.wait(); }
+  void wait() { core.wait_done(); }
 };
 
 /// Rendezvous pull bookkeeping: one RDMA-Read per rail chunk; the request
@@ -90,7 +111,7 @@ struct RecvRequest {
   RecvRequest& operator=(const RecvRequest&) = delete;
 
   [[nodiscard]] bool completed() const { return core.completed(); }
-  void wait() { core.sem.wait(); }
+  void wait() { core.wait_done(); }
 };
 
 }  // namespace piom::nmad

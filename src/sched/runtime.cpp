@@ -68,8 +68,12 @@ void Runtime::worker_loop(int cpu) {
       idle_spins = 0;
       continue;
     }
-    // 2. Idle hook: run communication tasks (Algorithm 1 walk).
-    const int executed = tm_.schedule(cpu);
+    // 2. Idle hook: run communication tasks. Escalation ladder: a freshly
+    //    idle core walks only its own branch (Algorithm 1); one that stayed
+    //    dry escalates to the stealing walk; a fully idle one naps below.
+    const int executed = (idle_spins < config_.idle_spins_before_steal)
+                             ? tm_.schedule_from_level(cpu, topo::Level::kCore)
+                             : tm_.schedule(cpu);
     if (executed > 0) {
       idle_spins = 0;
       continue;

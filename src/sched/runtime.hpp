@@ -29,6 +29,11 @@ struct RuntimeConfig {
   /// Pin worker i to host CPU i (best effort; ignored when the host has
   /// fewer CPUs or pinning is not permitted).
   bool pin_threads = true;
+  /// Idle iterations of the pure Algorithm-1 walk before a worker escalates
+  /// to work stealing (spin → steal → nap): a core that just ran work polls
+  /// its own branch cheaply first; only a persistently dry core starts
+  /// scanning victim queues. 0 = steal on the first dry pass.
+  int idle_spins_before_steal = 4;
   /// How long an idle worker keeps spinning on schedule() before it naps
   /// (it never naps while reachable queues hold tasks, so polling tasks are
   /// serviced continuously — PIOMan busy-polls on idle cores).

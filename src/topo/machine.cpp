@@ -68,6 +68,29 @@ void Machine::finalize() {
       path.push_back(n);
     }
   }
+  // Steal order: walk up the path; at each ancestor, append every sibling
+  // subtree (preorder) that the previous path node is not part of. The
+  // result is every off-path node, grouped by topological distance.
+  steal_order_by_cpu_.resize(static_cast<std::size_t>(ncpus_));
+  for (int c = 0; c < ncpus_; ++c) {
+    auto& order = steal_order_by_cpu_[static_cast<std::size_t>(c)];
+    const TopoNode* on_path = core_by_cpu_[static_cast<std::size_t>(c)];
+    for (const TopoNode* anc = on_path->parent; anc != nullptr;
+         on_path = anc, anc = anc->parent) {
+      for (const TopoNode* sibling : anc->children) {
+        if (sibling == on_path) continue;
+        std::vector<const TopoNode*> stack{sibling};
+        while (!stack.empty()) {
+          const TopoNode* n = stack.back();
+          stack.pop_back();
+          order.push_back(n);
+          for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+            stack.push_back(*it);
+          }
+        }
+      }
+    }
+  }
 }
 
 Machine Machine::symmetric(int numa_nodes, int chips_per_numa,
@@ -273,6 +296,14 @@ const std::vector<const TopoNode*>& Machine::path_to_root(int cpu) const {
                             std::to_string(cpu));
   }
   return path_by_cpu_[static_cast<std::size_t>(cpu)];
+}
+
+const std::vector<const TopoNode*>& Machine::steal_order(int cpu) const {
+  if (cpu < 0 || cpu >= ncpus_) {
+    throw std::out_of_range("Machine::steal_order: bad cpu " +
+                            std::to_string(cpu));
+  }
+  return steal_order_by_cpu_[static_cast<std::size_t>(cpu)];
 }
 
 CpuSet Machine::siblings_sharing_cache(int cpu) const {

@@ -97,6 +97,14 @@ class Machine {
   /// scheduler's hottest path (every schedule() call walks it).
   [[nodiscard]] const std::vector<const TopoNode*>& path_to_root(int cpu) const;
 
+  /// Victim queues for work stealing on behalf of `cpu`, in locality order:
+  /// the subtrees hanging off `cpu`'s nearest ancestor first (cache
+  /// siblings), then the next ancestor's (chip), then NUMA, then machine —
+  /// each sibling subtree in preorder, so wider (more aggregating) queues
+  /// are probed before leaves. Nodes on `cpu`'s own path are excluded:
+  /// Algorithm 1 already walks them. Precomputed — no allocation.
+  [[nodiscard]] const std::vector<const TopoNode*>& steal_order(int cpu) const;
+
   /// Cores sharing the deepest non-core level with `cpu` (used by nmad to
   /// express "cores that share a cache with the current CPU").
   [[nodiscard]] CpuSet siblings_sharing_cache(int cpu) const;
@@ -115,6 +123,7 @@ class Machine {
   TopoNode* root_ = nullptr;
   std::vector<TopoNode*> core_by_cpu_;
   std::vector<std::vector<const TopoNode*>> path_by_cpu_;
+  std::vector<std::vector<const TopoNode*>> steal_order_by_cpu_;
   int ncpus_ = 0;
 };
 

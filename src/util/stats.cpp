@@ -60,4 +60,13 @@ std::string format_si(double value, int width) {
   return out;
 }
 
+std::string format_pct(uint64_t numerator, uint64_t denominator) {
+  if (denominator == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(numerator) /
+                    static_cast<double>(denominator));
+  return buf;
+}
+
 }  // namespace piom::util

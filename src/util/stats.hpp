@@ -48,4 +48,8 @@ class SampleSet {
 /// Render "  123" / " 1.2k"-style human numbers for table output.
 [[nodiscard]] std::string format_si(double value, int width = 0);
 
+/// Render a ratio as "87.5%" ("-" when the denominator is zero); used for
+/// steal hit rates and similar counter quotients in bench tables.
+[[nodiscard]] std::string format_pct(uint64_t numerator, uint64_t denominator);
+
 }  // namespace piom::util

@@ -18,16 +18,24 @@ struct Ring {
 };
 
 std::mutex g_registry_mutex;
-std::vector<Ring*> g_rings;  // never freed: threads may outlive collect()
+/// Ring registry. Immortal (allocated once, never destroyed): rings must
+/// stay readable by collect() after their threads exit, and the registry
+/// itself must survive static destruction so LeakSanitizer still sees the
+/// ring pointers at its exit-time scan (a plain global vector would be
+/// destructed first, orphaning them into reported leaks).
+std::vector<Ring*>& rings() {
+  static std::vector<Ring*>* v = new std::vector<Ring*>();
+  return *v;
+}
 std::atomic<bool> g_enabled{false};
 std::atomic<bool> g_env_checked{false};
 
 Ring& thread_ring() {
   thread_local Ring* ring = [] {
-    auto* r = new Ring();  // leaked by design: see g_rings comment
+    auto* r = new Ring();  // immortal by design: see rings() comment
     std::lock_guard<std::mutex> lk(g_registry_mutex);
-    r->ordinal = static_cast<uint32_t>(g_rings.size());
-    g_rings.push_back(r);
+    r->ordinal = static_cast<uint32_t>(rings().size());
+    rings().push_back(r);
     return r;
   }();
   return *ring;
@@ -42,6 +50,7 @@ const char* kind_name(Kind k) {
     case Kind::kTaskDone: return "task-done";
     case Kind::kTaskRequeue: return "task-requeue";
     case Kind::kUrgentRun: return "urgent-run";
+    case Kind::kTaskSteal: return "task-steal";
     case Kind::kSchedulePass: return "schedule";
     case Kind::kPacketTx: return "packet-tx";
     case Kind::kPacketRx: return "packet-rx";
@@ -86,7 +95,7 @@ std::vector<Event> collect() {
   std::vector<Event> out;
   {
     std::lock_guard<std::mutex> lk(g_registry_mutex);
-    for (Ring* ring : g_rings) {
+    for (Ring* ring : rings()) {
       const uint64_t head = ring->head.load(std::memory_order_acquire);
       const uint64_t n = std::min<uint64_t>(head, kRingCapacity);
       for (uint64_t i = head - n; i < head; ++i) {
@@ -101,7 +110,7 @@ std::vector<Event> collect() {
 
 void reset() {
   std::lock_guard<std::mutex> lk(g_registry_mutex);
-  for (Ring* ring : g_rings) {
+  for (Ring* ring : rings()) {
     ring->head.store(0, std::memory_order_release);
   }
 }

@@ -20,6 +20,7 @@ enum class Kind : uint8_t {
   kTaskDone = 3,
   kTaskRequeue = 4,
   kUrgentRun = 5,
+  kTaskSteal = 9,
   kSchedulePass = 6,
   kPacketTx = 7,
   kPacketRx = 8,

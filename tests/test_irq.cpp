@@ -158,6 +158,15 @@ TEST(IrqService, ManyUrgentTasksAllRun) {
     std::this_thread::yield();
   }
   EXPECT_EQ(hits.load(), kTasks);
+  // Task lifetime contract: storage must stay alive until completed() —
+  // the counter bump happens *inside* the task fn, before the scheduler's
+  // final state store, so wait for each task before the deque dies.
+  for (auto& t : tasks) {
+    while (!t.completed() && util::now_ns() < deadline) {
+      std::this_thread::yield();
+    }
+    EXPECT_TRUE(t.completed());
+  }
   EXPECT_EQ(tm.urgent_pending_approx(), 0u);
 }
 

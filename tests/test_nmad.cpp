@@ -454,7 +454,13 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, NmadSizeSweep,
     ::testing::Values(1u, 7u, 64u, 1024u, 16 * 1024u - 1, 16 * 1024u,
                       16 * 1024u + 1, 64 * 1024u, 1u << 20),
-    [](const auto& info) { return "b" + std::to_string(info.param); });
+    [](const auto& info) {
+      // Piecewise append: the "lit" + std::string temporary chain trips
+      // GCC 12's -Wrestrict false positive under inlining.
+      std::string name = "b";
+      name += std::to_string(info.param);
+      return name;
+    });
 
 }  // namespace
 }  // namespace piom::nmad

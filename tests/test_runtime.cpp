@@ -212,6 +212,15 @@ TEST(Runtime, StressJobsAndTasksTogether) {
   }
   EXPECT_EQ(jobs_done.load(), kJobs);
   EXPECT_EQ(tasks_done.load(), kTasks);
+  // Task lifetime contract: storage must stay alive until completed() —
+  // the counter bump happens *inside* the task fn, before the scheduler's
+  // final state store, so wait for each task before the deque dies.
+  for (auto& t : tasks) {
+    while (!t.completed() && util::now_ns() < deadline) {
+      std::this_thread::yield();
+    }
+    EXPECT_TRUE(t.completed());
+  }
 }
 
 TEST(Runtime, StopIsIdempotentAndDtorSafe) {

@@ -1,8 +1,11 @@
-// Tests for the utility layer: timing, statistics, options parsing.
+// Tests for the utility layer: timing, statistics, options parsing — plus
+// the scheduler's queue-kind naming (used verbatim in bench tables and
+// BENCH_*.json, so a rename is a format break).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 
+#include "core/task_manager.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/timing.hpp"
@@ -67,6 +70,21 @@ TEST(Stats, QuantilesInterpolate) {
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 20);
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 10);
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.125), 5);  // interpolated
+  // Out-of-range q is clamped; degenerate inputs are total.
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, -1.0), 0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 2.0), 40);
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({7}, 0.99), 7);
+}
+
+TEST(Stats, SummaryPercentiles) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);  // 0..100
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p10, 10);
+  EXPECT_DOUBLE_EQ(s.p90, 90);
+  EXPECT_DOUBLE_EQ(s.p99, 99);
+  EXPECT_DOUBLE_EQ(s.median, 50);
 }
 
 TEST(Stats, SampleSetAccumulates) {
@@ -85,6 +103,24 @@ TEST(Stats, FormatSi) {
   EXPECT_EQ(format_si(2'500'000), "2.50M");
   EXPECT_EQ(format_si(3'200'000'000.0), "3.20G");
   EXPECT_EQ(format_si(42, 8), "      42");
+  EXPECT_EQ(format_si(-1500), "-1.50k");  // magnitude picks the suffix
+  EXPECT_EQ(format_si(0), "0");
+}
+
+TEST(Stats, FormatPct) {
+  EXPECT_EQ(format_pct(1, 2), "50.0%");
+  EXPECT_EQ(format_pct(875, 1000), "87.5%");
+  EXPECT_EQ(format_pct(0, 10), "0.0%");
+  EXPECT_EQ(format_pct(10, 10), "100.0%");
+  EXPECT_EQ(format_pct(5, 0), "-");  // steal hit rate before any attempt
+}
+
+TEST(QueueKindName, NamesAreStableBenchLabels) {
+  using piom::QueueKind;
+  EXPECT_STREQ(piom::queue_kind_name(QueueKind::kSpin), "spinlock");
+  EXPECT_STREQ(piom::queue_kind_name(QueueKind::kTicket), "ticketlock");
+  EXPECT_STREQ(piom::queue_kind_name(QueueKind::kMutex), "mutex");
+  EXPECT_STREQ(piom::queue_kind_name(QueueKind::kLockFree), "lockfree");
 }
 
 TEST(Options, EnvParsing) {
