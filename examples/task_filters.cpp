@@ -78,7 +78,7 @@ int main() {
     FilterJob& job = jobs[static_cast<std::size_t>(i)];
     job.input = &chunks[static_cast<std::size_t>(i)];
     job.remaining = &remaining;
-    job.task.init(&filter_fn, &job, topo::CpuSet::range(4, 8), kTaskNone);
+    job.task.init(&filter_fn, &job, topo::CpuSet::range(4, 8), kTaskNotify);
     tm.submit(&job.task);
   }
 
@@ -89,6 +89,11 @@ int main() {
     main_work_us += 100;
   }
   const double total_us = static_cast<double>(util::now_ns() - t0) * 1e-3;
+
+  // `remaining` hitting zero says every *filter* ran; wait_done additionally
+  // synchronizes with the scheduler's final touch of each task, which must
+  // happen before the jobs (and their embedded tasks) are destroyed.
+  for (FilterJob& job : jobs) job.task.wait_done();
 
   std::size_t in_bytes = 0, out_bytes = 0;
   for (const FilterJob& job : jobs) {

@@ -15,14 +15,41 @@ const char* engine_kind_name(EngineKind k) {
   return "?";
 }
 
+std::vector<int> rank_nodes_from_machine(const topo::Machine& machine,
+                                         int nranks) {
+  std::vector<int> node_of(static_cast<std::size_t>(nranks), 0);
+  for (int r = 0; r < nranks; ++r) {
+    const int cpu = r % machine.ncpus();
+    // Deepest chip (preferred) or NUMA ancestor of the core; flat
+    // machines collapse to one shared node.
+    int node = 0;
+    for (const topo::TopoNode* t : machine.path_to_root(cpu)) {
+      if (t->level == topo::Level::kChip) {
+        node = t->index_in_level;
+        break;
+      }
+      if (t->level == topo::Level::kNuma) node = t->index_in_level;
+    }
+    node_of[static_cast<std::size_t>(r)] = node;
+  }
+  return node_of;
+}
+
 World::World(WorldConfig config) : config_(config) {
   if (config_.nranks < 2) throw std::invalid_argument("World: nranks >= 2");
   if (config_.rails < 1) throw std::invalid_argument("World: rails >= 1");
   const int n = config_.nranks;
-  fabric_ = std::make_unique<simnet::Fabric>(config_.time_scale);
-  // Full-mesh wiring: every rank pair gets `rails` dedicated links.
-  const simnet::Fabric::MeshWiring mesh =
-      fabric_->create_full_mesh(n, config_.rails, config_.link, "link");
+  // Explicit rank placement wins; otherwise $PIOM_TRANSPORT picks the
+  // backend for every pair (defaulting to all-simnet).
+  const transport::BackendPolicy policy =
+      config_.policy.node_of.empty() ? transport::BackendPolicy::from_env(n)
+                                     : config_.policy;
+  fabric_ = std::make_unique<simnet::Fabric>(config_.time_scale,
+                                             config_.shmem);
+  // Full-mesh wiring: every rank pair gets its policy-selected channels
+  // (`rails` dedicated NIC links, a shmem fast path, or both).
+  const simnet::Fabric::MeshWiring mesh = fabric_->create_full_mesh(
+      n, config_.rails, config_.link, "link", policy);
 
   sessions_.resize(static_cast<std::size_t>(n));
   engines_.resize(static_cast<std::size_t>(n));

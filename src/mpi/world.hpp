@@ -21,6 +21,9 @@
 #include "mpi/engine_pioman.hpp"
 #include "nmad/session.hpp"
 #include "simnet/fabric.hpp"
+#include "topo/machine.hpp"
+#include "transport/channel.hpp"
+#include "transport/shmem.hpp"
 
 namespace piom::mpi {
 
@@ -36,7 +39,7 @@ struct WorldConfig {
   EngineKind engine = EngineKind::kPioman;
   /// Cluster size (>= 2). Every rank is wired to every other rank.
   int nranks = 2;
-  /// Number of rails (NIC pairs) between each pair of ranks.
+  /// Number of simnet rails (NIC pairs) between each pair of ranks.
   int rails = 1;
   simnet::LinkModel link{};
   /// Multiplies every modelled network delay.
@@ -44,7 +47,21 @@ struct WorldConfig {
   nmad::SessionConfig session{};
   /// PIOMan node configuration (ignored by the baseline engines).
   PiomanEngineConfig pioman{};
+  /// Transport backend selection per rank pair. With an empty `node_of`
+  /// the policy is resolved from $PIOM_TRANSPORT instead (the CI backend
+  /// matrix forces whole suites onto shmem/hybrid that way); a non-empty
+  /// `node_of` pins the placement and ignores the environment.
+  transport::BackendPolicy policy{};
+  /// Intra-node channel tuning (ring depth, modelled latency).
+  transport::ShmemConfig shmem{};
 };
+
+/// Rank placement derived from a machine topology: rank r lives on the
+/// chip (NUMA node when chip-less, whole machine when flat) hosting core
+/// r % ncpus. Feed the result to WorldConfig::policy.node_of to make a
+/// "2-chip machine" where half the rank pairs share memory.
+[[nodiscard]] std::vector<int> rank_nodes_from_machine(
+    const topo::Machine& machine, int nranks);
 
 class Comm;
 

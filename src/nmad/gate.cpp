@@ -10,21 +10,24 @@
 
 namespace piom::nmad {
 
-Gate::Gate(Session& session, std::vector<simnet::Nic*> rails, int peer_rank)
+Gate::Gate(Session& session, std::vector<transport::IChannel*> rails,
+           int peer_rank)
     : session_(session), peer_rank_(peer_rank) {
   const int bufs = session_.config().pool_bufs_per_rail;
   for (std::size_t i = 0; i < rails.size(); ++i) {
     RailState& r = rails_.emplace_back();
-    r.nic = rails[i];
+    r.ch = rails[i];
     r.index = static_cast<int>(i);
+    rail_latency_us_.push_back(r.ch->latency_us());
+    rail_bandwidths_.push_back(r.ch->bandwidth_GBps());
     for (int b = 0; b < bufs; ++b) {
       r.pool.push_back(PoolBuf{this, r.index, std::vector<uint8_t>(kPoolBufSize)});
     }
     // deque iterators/references are stable under no further insertion:
     // post every pool buffer now and recycle them forever after.
     for (PoolBuf& pb : r.pool) {
-      r.nic->post_recv(pb.data.data(), pb.data.size(),
-                       reinterpret_cast<uint64_t>(&pb));
+      r.ch->post_recv(pb.data.data(), pb.data.size(),
+                      reinterpret_cast<uint64_t>(&pb));
     }
   }
 }
@@ -36,20 +39,20 @@ Gate::~Gate() {
   // abandoned (their owner is responsible for waiting before teardown) —
   // we deliberately do NOT touch them, they may already be destroyed.
   for (RailState& rail : rails_) {
-    rail.nic->quiesce();
-    if (rail.nic->peer() != nullptr) rail.nic->peer()->quiesce();
+    rail.ch->quiesce();
+    if (rail.ch->peer() != nullptr) rail.ch->peer()->quiesce();
   }
-  simnet::Completion c;
+  transport::Completion c;
   for (RailState& rail : rails_) {
-    while (rail.nic->poll_tx(c)) {
-      if (c.kind == simnet::Completion::Kind::kSend) {
+    while (rail.ch->poll_tx(c)) {
+      if (c.kind == transport::Completion::Kind::kSend) {
         auto* pw = reinterpret_cast<PacketWrapper*>(c.wrid);
         // Unacknowledged reliable packets are reclaimed from unacked_
         // below — don't double-release them here.
         if (!pw->awaiting_ack) pw_pool_.release(pw);
       }
     }
-    while (rail.nic->poll_rx(c)) {
+    while (rail.ch->poll_rx(c)) {
       // Discard: the arrival sits in our (still-alive) pool buffer.
     }
   }
@@ -172,7 +175,7 @@ void Gate::submit_pending() {
       }
       pw->header().len = pw->wire.size() - sizeof(PktHeader);
     }
-    post_pw(pw, strategy.select_eager_rail(nrails()));
+    post_pw(pw, strategy.select_eager_rail(rail_latency_us_));
   }
 }
 
@@ -195,7 +198,7 @@ void Gate::post_pw(PacketWrapper* pw, int rail_index) {
     unacked_.push_back(pw);
   }
   lock_.unlock();
-  rails_[static_cast<std::size_t>(rail_index)].nic->post_send(
+  rails_[static_cast<std::size_t>(rail_index)].ch->post_send(
       pw->wire.data(), pw->wire.size(), reinterpret_cast<uint64_t>(pw));
 }
 
@@ -258,7 +261,7 @@ void Gate::check_retransmits() {
   }
   lock_.unlock();
   for (PacketWrapper* pw : to_repost) {
-    rails_[static_cast<std::size_t>(pw->rail)].nic->post_send(
+    rails_[static_cast<std::size_t>(pw->rail)].ch->post_send(
         pw->wire.data(), pw->wire.size(), reinterpret_cast<uint64_t>(pw));
   }
 }
@@ -428,16 +431,16 @@ int Gate::poll_rail(int rail_index) {
   // queueing (other rails / other gates remain pollable concurrently).
   if (!rail.poll_lock.try_lock()) return 0;
   int events = 0;
-  simnet::Completion c;
-  while (rail.nic->poll_rx(c)) {
+  transport::Completion c;
+  while (rail.ch->poll_rx(c)) {
     auto* pb = reinterpret_cast<PoolBuf*>(c.wrid);
     handle_wire(pb->data.data(), c.bytes, rail_index);
     // Recycle the pool buffer immediately (the wire data was consumed).
-    rail.nic->post_recv(pb->data.data(), pb->data.size(),
-                        reinterpret_cast<uint64_t>(pb));
+    rail.ch->post_recv(pb->data.data(), pb->data.size(),
+                       reinterpret_cast<uint64_t>(pb));
     ++events;
   }
-  while (rail.nic->poll_tx(c)) {
+  while (rail.ch->poll_tx(c)) {
     handle_tx_completion(c);
     ++events;
   }
@@ -600,13 +603,8 @@ void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {
   req.source = peer_rank_;
   const std::size_t n = std::min(req.cap, static_cast<std::size_t>(rts.len));
   req.received = n;
-  std::vector<double> bandwidths;
-  bandwidths.reserve(rails_.size());
-  for (const RailState& r : rails_) {
-    bandwidths.push_back(r.nic->link().bandwidth_GBps);
-  }
   const std::vector<StripeChunk> chunks =
-      session_.strategy().stripe(n, bandwidths);
+      session_.strategy().stripe(n, rail_bandwidths_);
   req.pull.req = &req;
   req.pull.tag = rts.tag;
   req.pull.seq = rts.seq;
@@ -614,7 +612,7 @@ void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {
                                   std::memory_order_release);
   auto* base = reinterpret_cast<const uint8_t*>(rts.raddr);
   for (const StripeChunk& chunk : chunks) {
-    rails_[static_cast<std::size_t>(chunk.rail)].nic->post_rdma_read(
+    rails_[static_cast<std::size_t>(chunk.rail)].ch->post_rdma_read(
         static_cast<uint8_t*>(req.buf) + chunk.offset, base + chunk.offset,
         chunk.len, reinterpret_cast<uint64_t>(&req.pull));
   }
@@ -632,9 +630,9 @@ void Gate::finish_pull(RdvPull& pull) {
   pull.req->core.complete();
 }
 
-void Gate::handle_tx_completion(const simnet::Completion& c) {
+void Gate::handle_tx_completion(const transport::Completion& c) {
   switch (c.kind) {
-    case simnet::Completion::Kind::kSend: {
+    case transport::Completion::Kind::kSend: {
       auto* pw = reinterpret_cast<PacketWrapper*>(c.wrid);
       if (pw->awaiting_ack) {
         // Reliable path: completion means "on the wire", not "delivered".
@@ -658,14 +656,14 @@ void Gate::handle_tx_completion(const simnet::Completion& c) {
       pw_pool_.release(pw);
       break;
     }
-    case simnet::Completion::Kind::kRdmaRead: {
+    case transport::Completion::Kind::kRdmaRead: {
       auto* pull = reinterpret_cast<RdvPull*>(c.wrid);
       if (pull->chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         finish_pull(*pull);
       }
       break;
     }
-    case simnet::Completion::Kind::kRecv:
+    case transport::Completion::Kind::kRecv:
       assert(false && "recv completions are handled in poll_rx loop");
       break;
   }

@@ -22,8 +22,8 @@
 #include "nmad/request.hpp"
 #include "nmad/strategy.hpp"
 #include "nmad/types.hpp"
-#include "simnet/nic.hpp"
 #include "sync/spinlock.hpp"
+#include "transport/channel.hpp"
 
 namespace piom::nmad {
 
@@ -47,11 +47,13 @@ struct GateStats {
 
 class Gate {
  public:
-  /// `rails` are this side's connected NICs towards the peer; they must
-  /// outlive the gate. Receive pool buffers are posted immediately.
-  /// `peer_rank` identifies the peer in the owning cluster (reported as
-  /// RecvRequest::source on every match; -1 when the caller doesn't care).
-  Gate(Session& session, std::vector<simnet::Nic*> rails, int peer_rank = -1);
+  /// `rails` are this side's connected transport channels towards the peer
+  /// (any backend, freely mixed); they must outlive the gate. Receive pool
+  /// buffers are posted immediately. `peer_rank` identifies the peer in the
+  /// owning cluster (reported as RecvRequest::source on every match; -1
+  /// when the caller doesn't care).
+  Gate(Session& session, std::vector<transport::IChannel*> rails,
+       int peer_rank = -1);
   ~Gate();
 
   Gate(const Gate&) = delete;
@@ -100,8 +102,8 @@ class Gate {
 
   [[nodiscard]] int peer_rank() const { return peer_rank_; }
   [[nodiscard]] int nrails() const { return static_cast<int>(rails_.size()); }
-  [[nodiscard]] simnet::Nic& rail_nic(int rail_index) {
-    return *rails_[static_cast<std::size_t>(rail_index)].nic;
+  [[nodiscard]] transport::IChannel& rail_channel(int rail_index) {
+    return *rails_[static_cast<std::size_t>(rail_index)].ch;
   }
   [[nodiscard]] Session& session() { return session_; }
   [[nodiscard]] GateStats stats() const;
@@ -118,7 +120,7 @@ class Gate {
   };
 
   struct RailState {
-    simnet::Nic* nic = nullptr;
+    transport::IChannel* ch = nullptr;
     int index = 0;
     std::deque<PoolBuf> pool;
     // Serializes pollers of this rail so completions are handled once.
@@ -145,7 +147,7 @@ class Gate {
   void handle_rts(const PktHeader& hdr);
   void handle_fin(const PktHeader& hdr);
   void handle_ack(const PktHeader& hdr);
-  void handle_tx_completion(const simnet::Completion& c);
+  void handle_tx_completion(const transport::Completion& c);
 
   // Reliability layer.
   /// Record `pkt_seq` as received. False when it is a duplicate.
@@ -187,6 +189,10 @@ class Gate {
   Session& session_;
   int peer_rank_ = -1;
   std::deque<RailState> rails_;  // deque: RailState holds a lock (immovable)
+  /// Rail properties, cached for the strategy layer's hot paths (eager
+  /// rail selection per packet, stripe weighting per rendezvous).
+  std::vector<double> rail_latency_us_;
+  std::vector<double> rail_bandwidths_;
   PwPool pw_pool_;
 
   mutable sync::SpinLock lock_;  // matching + pending + rdv state

@@ -32,14 +32,15 @@ Session::Session(std::string name, SessionConfig config)
 
 Session::~Session() = default;
 
-Gate& Session::create_gate(std::vector<simnet::Nic*> rails, int peer_rank) {
+Gate& Session::create_gate(std::vector<transport::IChannel*> rails,
+                           int peer_rank) {
   if (rails.empty()) {
     throw std::invalid_argument("Session::create_gate: no rails");
   }
-  for (simnet::Nic* nic : rails) {
-    if (nic == nullptr || nic->peer() == nullptr) {
+  for (transport::IChannel* ch : rails) {
+    if (ch == nullptr || ch->peer() == nullptr) {
       throw std::invalid_argument(
-          "Session::create_gate: rail NIC missing or unconnected");
+          "Session::create_gate: rail channel missing or unconnected");
     }
   }
   gates_.push_back(std::make_unique<Gate>(*this, std::move(rails), peer_rank));

@@ -34,11 +34,12 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Create a gate towards a peer over `rails` (this side's NICs, already
-  /// connected to the peer's). `peer_rank` names the peer in the cluster
-  /// (reported by any-source receives; -1 when unused). Returned reference
-  /// is stable.
-  Gate& create_gate(std::vector<simnet::Nic*> rails, int peer_rank = -1);
+  /// Create a gate towards a peer over `rails` (this side's transport
+  /// channels, already connected to the peer's; backends may be mixed).
+  /// `peer_rank` names the peer in the cluster (reported by any-source
+  /// receives; -1 when unused). Returned reference is stable.
+  Gate& create_gate(std::vector<transport::IChannel*> rails,
+                    int peer_rank = -1);
 
   /// Flush pending sends and poll every rail of every gate.
   /// Returns events handled.

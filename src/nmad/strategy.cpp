@@ -12,6 +12,29 @@ int Strategy::select_eager_rail(int nrails) {
                           static_cast<uint32_t>(nrails));
 }
 
+int Strategy::select_eager_rail(const std::vector<double>& latencies_us) {
+  const int nrails = static_cast<int>(latencies_us.size());
+  if (nrails <= 1) return 0;
+  if (config_.latency_aware_eager) {
+    int best = 0;
+    bool unique = true;
+    for (int r = 1; r < nrails; ++r) {
+      const double lat = latencies_us[static_cast<std::size_t>(r)];
+      const double best_lat = latencies_us[static_cast<std::size_t>(best)];
+      if (lat < best_lat) {
+        best = r;
+        unique = true;
+      } else if (lat == best_lat) {
+        unique = false;
+      }
+    }
+    // A strictly fastest rail (the shmem fast path of a hybrid gate) takes
+    // all small traffic; tied rails are interchangeable -> spread instead.
+    if (unique) return best;
+  }
+  return select_eager_rail(nrails);
+}
+
 std::vector<StripeChunk> Strategy::stripe(
     std::size_t len, const std::vector<double>& bandwidths) const {
   assert(!bandwidths.empty());

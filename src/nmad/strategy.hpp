@@ -27,6 +27,11 @@ struct StrategyConfig {
   std::size_t stripe_min_chunk = 64 * 1024;
   /// Spread eager packets round-robin across rails (else rail 0).
   bool eager_round_robin = false;
+  /// Heterogeneous rails: send eager/control packets on the strictly
+  /// lowest-latency rail (the shmem fast path of a hybrid gate) instead of
+  /// round-robin / rail 0. Homogeneous rails fall back to the two knobs
+  /// above.
+  bool latency_aware_eager = true;
 };
 
 /// One striped slice of a rendezvous transfer.
@@ -42,8 +47,14 @@ class Strategy {
 
   [[nodiscard]] const StrategyConfig& config() const { return config_; }
 
-  /// Rail for the next eager/control packet.
+  /// Rail for the next eager/control packet (homogeneous rails: round
+  /// robin when configured, rail 0 otherwise).
   [[nodiscard]] int select_eager_rail(int nrails);
+
+  /// Latency-aware overload for heterogeneous rails: the rail with the
+  /// strictly lowest one-way latency wins; ties fall back to the
+  /// homogeneous policy above.
+  [[nodiscard]] int select_eager_rail(const std::vector<double>& latencies_us);
 
   /// Split `len` bytes across rails weighted by `bandwidths` (GB/s per
   /// rail). Always returns at least one chunk; chunks are contiguous,

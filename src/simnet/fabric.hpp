@@ -1,30 +1,56 @@
-// Fabric: owner of the simulated NICs and the global time scale.
+// Fabric: owner of the simulated interconnect in one process — the NIC
+// model ("simnet" backend, one engine thread per NIC) plus an intra-node
+// shared-memory transport ("shmem" backend) for rank pairs that a
+// BackendPolicy places on the same node.
 //
-// A Fabric stands for "the interconnect between the cluster nodes" in one
-// process. Create NICs, connect them pairwise (one link = one NIC pair),
-// and hand each side to a communication library instance. Multirail = one
-// node holding several connected NICs towards the same peer; a cluster =
-// one full mesh of links (see create_full_mesh).
+// A Fabric stands for "the interconnect between the cluster nodes". Create
+// NICs, connect them pairwise (one link = one NIC pair), and hand each side
+// to a communication library instance. Multirail = one node holding several
+// connected channels towards the same peer (possibly of different
+// backends); a cluster = one full mesh of links (see create_full_mesh).
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simnet/link_model.hpp"
 #include "simnet/nic.hpp"
+#include "transport/channel.hpp"
+#include "transport/shmem.hpp"
 
 namespace piom::simnet {
 
-class Fabric {
+class Fabric final : public transport::ITransport {
  public:
   /// `time_scale` multiplies every modelled delay (1.0 = realistic ns;
-  /// tests may use <1 for speed, >1 to magnify protocol effects).
-  explicit Fabric(double time_scale = 1.0);
-  ~Fabric();
+  /// tests may use <1 for speed, >1 to magnify protocol effects). `shmem`
+  /// configures the intra-node channels a mesh policy may request.
+  explicit Fabric(double time_scale = 1.0, transport::ShmemConfig shmem = {});
+  ~Fabric() override;
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  // ---- ITransport (the "simnet" backend's factory face) ----
+
+  [[nodiscard]] transport::Backend backend() const override {
+    return transport::Backend::kSimnet;
+  }
+  /// Create a connected NIC pair over `default_link()`.
+  std::pair<transport::IChannel*, transport::IChannel*> create_channel_pair(
+      const std::string& name) override;
+  [[nodiscard]] std::size_t channel_count() const override {
+    return nics_.size();
+  }
+
+  /// Link model used by create_channel_pair (the ITransport entry point,
+  /// which has no per-call link parameter).
+  void set_default_link(const LinkModel& link) { default_link_ = link; }
+  [[nodiscard]] const LinkModel& default_link() const { return default_link_; }
+
+  // ---- simnet-specific construction ----
 
   /// Create a NIC attached to this fabric. Engine starts immediately.
   Nic& create_nic(const std::string& name, const LinkModel& link = {});
@@ -37,24 +63,36 @@ class Fabric {
   std::pair<Nic*, Nic*> create_link(const std::string& name,
                                     const LinkModel& link = {});
 
-  /// mesh[i][j] = node i's rail NICs towards node j (empty when i == j).
-  using MeshWiring = std::vector<std::vector<std::vector<Nic*>>>;
+  // ---- mesh construction (multi-backend) ----
 
-  /// Wire `nodes` cluster nodes into a full mesh: every unordered pair
-  /// gets `rails_per_pair` dedicated links over `link`. NICs are named
-  /// "<prefix>.<i>-<j>.r<k>.{a,b}" (a = lower rank's side). The result
-  /// satisfies mesh[i][j][k]->peer() == mesh[j][i][k]. Requires
-  /// nodes >= 2 and rails_per_pair >= 1.
+  /// mesh[i][j] = node i's rail channels towards node j (empty when i == j).
+  using MeshWiring =
+      std::vector<std::vector<std::vector<transport::IChannel*>>>;
+
+  /// Wire `nodes` cluster nodes into a full mesh. `policy` decides each
+  /// unordered pair's wiring:
+  ///   * kSimnet — `rails_per_pair` dedicated NIC links over `link`, named
+  ///     "<prefix>.<i>-<j>.r<k>.{a,b}" (a = lower rank's side);
+  ///   * kShmem  — one shared-memory channel, "<prefix>.<i>-<j>.shm.{a,b}";
+  ///   * kHybrid — the shmem channel as rail 0, then the NIC rails.
+  /// The result satisfies mesh[i][j][k]->peer() == mesh[j][i][k]. Requires
+  /// nodes >= 2, rails_per_pair >= 1 and a well-formed policy (validated
+  /// before anything is created; throws std::invalid_argument otherwise).
   MeshWiring create_full_mesh(int nodes, int rails_per_pair,
                               const LinkModel& link = {},
-                              const std::string& prefix = "mesh");
+                              const std::string& prefix = "mesh",
+                              const transport::BackendPolicy& policy = {});
 
   [[nodiscard]] double time_scale() const { return time_scale_; }
   [[nodiscard]] std::size_t nic_count() const { return nics_.size(); }
+  /// The intra-node backend owned by this fabric (meshes draw from it).
+  [[nodiscard]] transport::ShmemTransport& shmem() { return shmem_; }
 
  private:
   double time_scale_;
+  LinkModel default_link_{};
   std::vector<std::unique_ptr<Nic>> nics_;
+  transport::ShmemTransport shmem_;
 };
 
 }  // namespace piom::simnet

@@ -120,7 +120,7 @@ std::size_t Nic::tx_backlog() const {
   return tx_queue_.size();
 }
 
-void Nic::quiesce() const {
+void Nic::quiesce() {
   for (;;) {
     {
       std::lock_guard<std::mutex> lk(tx_mutex_);

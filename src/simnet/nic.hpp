@@ -24,69 +24,72 @@
 #include <vector>
 
 #include "simnet/link_model.hpp"
+#include "transport/channel.hpp"
 
 namespace piom::simnet {
 
 class Fabric;
 
-/// Completion queue entry.
-struct Completion {
-  enum class Kind : uint8_t { kSend, kRecv, kRdmaRead };
-  Kind kind = Kind::kSend;
-  uint64_t wrid = 0;       ///< work-request id supplied at post time
-  std::size_t bytes = 0;   ///< payload size actually transferred
-};
+/// Completion queue entry (the transport-wide layout; historical alias).
+using Completion = transport::Completion;
 
-/// Counters for the Fig-1 aggregation bench and NIC-saturation analysis.
-struct NicStats {
-  uint64_t packets_tx = 0;
-  uint64_t packets_rx = 0;
-  uint64_t bytes_tx = 0;
-  uint64_t bytes_rx = 0;
-  uint64_t rdma_reads_served = 0;  ///< served with zero host CPU
-  uint64_t packets_dropped = 0;    ///< fault injection (LinkModel::drop_rate)
-};
+/// Counters for the Fig-1 aggregation bench and NIC-saturation analysis
+/// (the transport-wide layout; historical alias).
+using NicStats = transport::ChannelStats;
 
-class Nic {
+/// The "simnet" transport backend: a modelled cluster NIC.
+class Nic final : public transport::IChannel {
  public:
-  ~Nic();
+  ~Nic() override;
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
 
-  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] transport::Backend backend() const override {
+    return transport::Backend::kSimnet;
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] const LinkModel& link() const { return link_; }
-  [[nodiscard]] Nic* peer() const { return peer_; }
+  [[nodiscard]] Nic* peer() const override { return peer_; }
 
   // ---- host-side API (thread-safe) ----
 
   /// Post a message send. `buf` must stay valid until the kSend completion
   /// for `wrid` is polled (the engine reads it at transfer time: zero-copy).
-  void post_send(const void* buf, std::size_t len, uint64_t wrid);
+  void post_send(const void* buf, std::size_t len, uint64_t wrid) override;
 
   /// Post a receive buffer of capacity `cap`. Buffers match arrivals in
   /// FIFO order (connected queue pair; message matching is nmad's job).
-  void post_recv(void* buf, std::size_t cap, uint64_t wrid);
+  void post_recv(void* buf, std::size_t cap, uint64_t wrid) override;
 
   /// RDMA-Read `len` bytes from the peer's memory at `remote` into `local`.
   /// Served by the engines alone: no peer host CPU involved.
   void post_rdma_read(void* local, const void* remote, std::size_t len,
-                      uint64_t wrid);
+                      uint64_t wrid) override;
 
   /// Poll the send/rdma completion queue. True when `out` was filled.
-  bool poll_tx(Completion& out);
+  bool poll_tx(Completion& out) override;
 
   /// Poll the receive completion queue.
-  bool poll_rx(Completion& out);
+  bool poll_rx(Completion& out) override;
 
-  [[nodiscard]] NicStats stats() const;
+  [[nodiscard]] NicStats stats() const override;
 
   /// Pending TX descriptors not yet executed by the engine (tests).
-  [[nodiscard]] std::size_t tx_backlog() const;
+  [[nodiscard]] std::size_t tx_backlog() const override;
 
   /// Block until the engine has executed every posted operation (TX queue
   /// empty and no operation in flight). Used at teardown: after quiescing
   /// this NIC *and its peer*, no engine will touch host buffers again.
-  void quiesce() const;
+  void quiesce() override;
+
+  /// Link bandwidth, the strategy layer's stripe weight.
+  [[nodiscard]] double bandwidth_GBps() const override {
+    return link_.bandwidth_GBps;
+  }
+  /// Effective small-message one-way latency (wire + per-packet cost).
+  [[nodiscard]] double latency_us() const override {
+    return link_.latency_us + link_.packet_overhead_us;
+  }
 
  private:
   friend class Fabric;

@@ -1,0 +1,76 @@
+#include "transport/channel.hpp"
+
+#include <stdexcept>
+
+#include "util/options.hpp"
+
+namespace piom::transport {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSimnet: return "simnet";
+    case Backend::kShmem: return "shmem";
+  }
+  return "?";
+}
+
+const char* pair_wiring_name(PairWiring w) {
+  switch (w) {
+    case PairWiring::kSimnet: return "simnet";
+    case PairWiring::kShmem: return "shmem";
+    case PairWiring::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+PairWiring BackendPolicy::wiring(int i, int j) const {
+  if (node_of.empty()) return inter;
+  const bool same_node = node_of[static_cast<std::size_t>(i)] ==
+                         node_of[static_cast<std::size_t>(j)];
+  return same_node ? intra : inter;
+}
+
+void BackendPolicy::validate(int nranks) const {
+  if (!node_of.empty() &&
+      node_of.size() != static_cast<std::size_t>(nranks)) {
+    // Built piecewise: a literal+to_string temporary chain trips GCC 12's
+    // -Wrestrict false positive once everything inlines.
+    std::string msg = "BackendPolicy: node_of must name every rank (size ";
+    msg += std::to_string(node_of.size());
+    msg += " != nranks ";
+    msg += std::to_string(nranks);
+    msg += ")";
+    throw std::invalid_argument(msg);
+  }
+  for (const int node : node_of) {
+    if (node < 0) {
+      throw std::invalid_argument("BackendPolicy: negative node id");
+    }
+  }
+  if (inter != PairWiring::kSimnet) {
+    throw std::invalid_argument(
+        "BackendPolicy: shared memory does not cross nodes (inter-node "
+        "pairs must be wired kSimnet)");
+  }
+}
+
+BackendPolicy BackendPolicy::from_env(int nranks) {
+  BackendPolicy policy;
+  const std::string value = util::env_str("PIOM_TRANSPORT", "simnet");
+  if (value == "simnet") {
+    return policy;  // empty node_of: every pair inter-node -> NIC
+  }
+  if (value == "shmem" || value == "hybrid") {
+    policy.node_of.assign(static_cast<std::size_t>(nranks), 0);
+    policy.intra =
+        value == "shmem" ? PairWiring::kShmem : PairWiring::kHybrid;
+    return policy;
+  }
+  std::string msg = "PIOM_TRANSPORT must be 'simnet', 'shmem' or 'hybrid', ";
+  msg += "got '";
+  msg += value;
+  msg += "'";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace piom::transport

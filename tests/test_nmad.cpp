@@ -40,7 +40,7 @@ struct NmadPair {
   explicit NmadPair(SessionConfig cfg = {}, int rails = 1,
                     double time_scale = 0.05)
       : fabric(time_scale), sa("A", cfg), sb("B", cfg) {
-    std::vector<simnet::Nic*> rails_a, rails_b;
+    std::vector<transport::IChannel*> rails_a, rails_b;
     for (int r = 0; r < rails; ++r) {
       auto [na, nb] = fabric.create_link("rail" + std::to_string(r));
       rails_a.push_back(na);
@@ -148,7 +148,7 @@ TEST(NmadRdv, LargeMessageUsesRendezvous) {
   EXPECT_EQ(p.gb->stats().rdv_recv, 1u);
   EXPECT_EQ(p.ga->stats().eager_sent, 0u);
   // The data itself moved by RDMA-Read, served by the sender-side NIC.
-  EXPECT_GE(p.ga->rail_nic(0).stats().rdma_reads_served, 1u);
+  EXPECT_GE(p.ga->rail_channel(0).stats().rdma_reads_served, 1u);
 }
 
 TEST(NmadRdv, UnexpectedRtsMatchesLateRecv) {
@@ -229,7 +229,7 @@ TEST(NmadAggreg, PendingSmallSendsArePacked) {
   EXPECT_GE(gs.packs_sent, 1u);
   EXPECT_EQ(gs.msgs_packed, static_cast<uint64_t>(kMsgs));
   // Fig 1's point: fewer wire packets than messages.
-  EXPECT_LT(p.ga->rail_nic(0).stats().packets_tx,
+  EXPECT_LT(p.ga->rail_channel(0).stats().packets_tx,
             static_cast<uint64_t>(kMsgs));
 }
 
@@ -253,7 +253,7 @@ TEST(NmadAggreg, NoAggregationSendsOnePacketPerMessage) {
     return true;
   }));
   EXPECT_EQ(p.ga->stats().packs_sent, 0u);
-  EXPECT_EQ(p.ga->rail_nic(0).stats().packets_tx,
+  EXPECT_EQ(p.ga->rail_channel(0).stats().packets_tx,
             static_cast<uint64_t>(kMsgs));
 }
 
@@ -275,8 +275,8 @@ TEST(NmadMultirail, RdvStripesAcrossRails) {
   }));
   EXPECT_EQ(out, data);
   // Both sender-side rail NICs served RDMA reads: the stripe really split.
-  EXPECT_GE(p.ga->rail_nic(0).stats().rdma_reads_served, 1u);
-  EXPECT_GE(p.ga->rail_nic(1).stats().rdma_reads_served, 1u);
+  EXPECT_GE(p.ga->rail_channel(0).stats().rdma_reads_served, 1u);
+  EXPECT_GE(p.ga->rail_channel(1).stats().rdma_reads_served, 1u);
 }
 
 TEST(NmadPool, PacketWrappersAreRecycled) {

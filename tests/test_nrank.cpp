@@ -3,7 +3,9 @@
 // every pair, any-source matching, and every collective
 // (bcast/allreduce/barrier/gather/scatter/alltoall). One binary-wide
 // script test per (engine, N) amortizes the mesh construction cost
-// (N*(N-1) NICs per world).
+// (N*(N-1) NICs per world). The whole matrix runs twice: over the pure
+// simnet mesh and over a mixed mesh (a 2-chip machine spec places the
+// ranks, so roughly half the pairs ride the shmem backend).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -13,17 +15,32 @@
 #include <vector>
 
 #include "mpi/world.hpp"
+#include "topo/machine.hpp"
 
 namespace piom::mpi {
 namespace {
 
-WorldConfig nrank_config(EngineKind kind, int nranks) {
+/// Mesh flavor of a test instance.
+enum class MeshKind {
+  kSimnet,  ///< every pair over the NIC model (or $PIOM_TRANSPORT)
+  kMixed,   ///< 2-chip placement: same-chip pairs shmem, others simnet
+};
+
+WorldConfig nrank_config(EngineKind kind, int nranks,
+                         MeshKind mesh = MeshKind::kSimnet) {
   WorldConfig cfg;
   cfg.engine = kind;
   cfg.nranks = nranks;
   cfg.time_scale = 0.05;          // 20x faster network: keep tests snappy
   cfg.session.pool_bufs_per_rail = 8;  // full mesh: bound the pool memory
   cfg.pioman.workers = 1;         // one simulated core per rank
+  if (mesh == MeshKind::kMixed) {
+    // Two chips x two cores: rank r sits on core r % 4, so chips host
+    // rank classes {0,1 mod 4} and {2,3 mod 4} — half the pairs of an
+    // even-sized world share a chip and get the shmem backend.
+    const topo::Machine machine = topo::Machine::symmetric(1, 2, 2, false);
+    cfg.policy.node_of = rank_nodes_from_machine(machine, nranks);
+  }
   return cfg;
 }
 
@@ -36,14 +53,14 @@ std::string engine_tag(EngineKind k) {
   return "unknown";
 }
 
-using Param = std::tuple<EngineKind, int>;
+using Param = std::tuple<EngineKind, int, MeshKind>;
 class NRankAllEngines : public ::testing::TestWithParam<Param> {};
 
 // The whole acceptance surface in one per-rank script: every rank runs the
 // same program on its own thread, SPMD style.
 TEST_P(NRankAllEngines, EndToEnd) {
-  const auto [kind, n] = GetParam();
-  World world(nrank_config(kind, n));
+  const auto [kind, n, mesh] = GetParam();
+  World world(nrank_config(kind, n, mesh));
   std::vector<std::thread> ranks;
   for (int r = 0; r < n; ++r) {
     ranks.emplace_back([&world, r, n = n] {
@@ -206,10 +223,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(EngineKind::kPioman,
                                          EngineKind::kMvapichLike,
                                          EngineKind::kOpenMpiLike),
-                       ::testing::Values(2, 3, 4, 8)),
+                       ::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(MeshKind::kSimnet, MeshKind::kMixed)),
     [](const auto& info) {
       return engine_tag(std::get<0>(info.param)) + "_n" +
-             std::to_string(std::get<1>(info.param));
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == MeshKind::kMixed ? "_mixed" : "");
     });
 
 TEST(NRank, AnySourcePreservesPerSourceOrder) {
@@ -241,6 +260,67 @@ TEST(NRank, AnySourcePreservesPerSourceOrder) {
     EXPECT_EQ(next[static_cast<std::size_t>(s)], kPerSender);
   }
   for (auto& t : senders) t.join();
+}
+
+TEST(NRank, AnySourceOrderHoldsOverMixedBackends) {
+  // Same per-source FIFO property, but rank 0's three senders arrive over
+  // different transports: rank 1 shares rank 0's chip (shmem pair), ranks
+  // 2 and 3 sit on the other chip (simnet pairs). Wildcard matching must
+  // not care which backend delivered the arrival.
+  constexpr int kPerSender = 12;
+  WorldConfig cfg = nrank_config(EngineKind::kPioman, 4);
+  cfg.policy.node_of = {0, 0, 1, 1};
+  World world(cfg);
+  ASSERT_EQ(world.comm(0).gate_to(1).rail_channel(0).backend(),
+            transport::Backend::kShmem);
+  ASSERT_EQ(world.comm(0).gate_to(2).rail_channel(0).backend(),
+            transport::Backend::kSimnet);
+  std::vector<std::thread> senders;
+  for (int s = 1; s < 4; ++s) {
+    senders.emplace_back([&world, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        const int32_t v = s * 1000 + i;
+        world.comm(s).send(0, 3, &v, sizeof(v));
+      }
+    });
+  }
+  std::vector<int> next(4, 0);
+  for (int i = 0; i < 3 * kPerSender; ++i) {
+    int32_t v = -1;
+    const Status st =
+        world.comm(0).recv_status(Comm::kAnySource, 3, &v, sizeof(v));
+    ASSERT_GE(st.source, 1);
+    ASSERT_LT(st.source, 4);
+    EXPECT_EQ(v, st.source * 1000 + next[static_cast<std::size_t>(st.source)]);
+    ++next[static_cast<std::size_t>(st.source)];
+  }
+  for (int s = 1; s < 4; ++s) {
+    EXPECT_EQ(next[static_cast<std::size_t>(s)], kPerSender);
+  }
+  for (auto& t : senders) t.join();
+}
+
+TEST(NRank, ZeroAndOneByteMessagesCrossBothBackends) {
+  // Striping/eager edge sizes end to end: 0-byte and 1-byte payloads over
+  // a shmem pair (0-1) and a simnet pair (0-2) of the same mixed world.
+  WorldConfig cfg = nrank_config(EngineKind::kMvapichLike, 4);
+  cfg.policy.node_of = {0, 0, 1, 1};
+  World world(cfg);
+  for (const int peer : {1, 2}) {
+    std::thread echo([&world, peer] {
+      char tiny = 0;
+      world.comm(peer).recv(0, 50, nullptr, 0);  // zero-byte receive
+      world.comm(peer).recv(0, 51, &tiny, 1);
+      world.comm(peer).send(0, 52, &tiny, 1);
+    });
+    const char one = 'b' + static_cast<char>(peer);
+    world.comm(0).send(peer, 50, nullptr, 0);
+    world.comm(0).send(peer, 51, &one, 1);
+    char back = 0;
+    world.comm(0).recv(peer, 52, &back, 1);
+    EXPECT_EQ(back, one);
+    echo.join();
+  }
 }
 
 TEST(NRank, MixedWildcardAndDirectedReceives) {

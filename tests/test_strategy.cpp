@@ -51,6 +51,45 @@ TEST(Strategy, BandwidthProportionalSplit) {
               (1 << 20) * 0.02);
 }
 
+TEST(Strategy, ZeroAndOneByteLengthsNeverSplit) {
+  StrategyConfig cfg;
+  cfg.stripe_min_chunk = 4 * 1024;
+  Strategy s(cfg);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}}) {
+    const auto chunks = s.stripe(len, {10.0, 1.25});
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].rail, 0);
+    EXPECT_EQ(chunks[0].offset, 0u);
+    EXPECT_EQ(chunks[0].len, len);
+  }
+}
+
+TEST(Strategy, LatencyAwareEagerPicksTheFastRail) {
+  Strategy s({});
+  // Heterogeneous rails: the strictly fastest one takes all eager traffic,
+  // regardless of its position.
+  EXPECT_EQ(s.select_eager_rail({0.15, 1.8}), 0);
+  EXPECT_EQ(s.select_eager_rail({1.8, 0.15}), 1);
+  EXPECT_EQ(s.select_eager_rail({1.8, 1.8, 0.15}), 2);
+  // Homogeneous rails fall back to rail 0 (no round robin configured).
+  EXPECT_EQ(s.select_eager_rail({1.8, 1.8}), 0);
+  // A tie at the minimum is homogeneous too.
+  EXPECT_EQ(s.select_eager_rail({0.15, 0.15, 1.8}), 0);
+  // Single rail short-circuits.
+  EXPECT_EQ(s.select_eager_rail(std::vector<double>{0.15}), 0);
+}
+
+TEST(Strategy, LatencyAwareEagerDisabledFallsBackToRoundRobin) {
+  StrategyConfig cfg;
+  cfg.latency_aware_eager = false;
+  cfg.eager_round_robin = true;
+  Strategy s(cfg);
+  // Even with a strictly faster rail, disabled = legacy round robin.
+  std::vector<int> seen;
+  for (int i = 0; i < 4; ++i) seen.push_back(s.select_eager_rail({0.15, 1.8}));
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 0, 1}));
+}
+
 TEST(Strategy, StripingDisabledUsesRailZero) {
   StrategyConfig cfg;
   cfg.multirail_stripe = false;
