@@ -1,55 +1,16 @@
-// Collective operations for the N-rank world, all built on the
-// point-to-point layer with tags in the reserved space, so they compose
-// with (and never collide with) application traffic.
-//
-// Algorithms (each exercises a different traffic pattern of the mesh):
-//   * barrier    — dissemination: ceil(log2 N) rounds, round k exchanges a
-//                  zero-byte token with ranks ±2^k (ring-distance pattern);
-//   * bcast      — binomial tree rooted at `root`: log2 N levels, the
-//                  subtree fan-out pattern;
-//   * allreduce  — recursive doubling (hypercube pattern) when N is a
-//                  power of two, ring reduce-scatter + allgather otherwise;
-//   * gather /
-//     scatter    — linear fan-in/fan-out at the root (the root's gates all
-//                  busy at once — the N-way contention case);
-//   * alltoall   — pairwise exchange, N-1 rounds of disjoint sendrecvs.
-//
-// Every collective must be called by all ranks in the same order (MPI
-// semantics). Per-phase tags keep rounds distinct; per-pair gates keep the
-// matching local to each (src, dst) pair.
-#include <algorithm>
-#include <cstring>
-#include <deque>
+// Collective entry points for the N-rank world. Every blocking collective
+// is its nonblocking form plus wait(); the algorithms themselves are the
+// CollOp state machines in mpi/coll.cpp, advanced by the rank's progress
+// engine. The i…() entry points validate arguments, claim the per-Comm
+// collective epoch (folded into the reserved tags so any number of
+// collectives can be in flight without cross-matching), arm the caller's
+// CollRequest, and hand it to the engine — which immediately posts round
+// 0's point-to-point traffic.
 #include <stdexcept>
-#include <vector>
 
 #include "mpi/world.hpp"
 
 namespace piom::mpi {
-
-namespace {
-// Reserved tag layout: one 0x100-wide window per collective; the low byte
-// carries the round/phase index (bounds cluster sizes at 2^255 — plenty).
-constexpr Tag kBarrierTag = Comm::kReservedTagBase + 0x100;      // + round
-constexpr Tag kBcastTag = Comm::kReservedTagBase + 0x200;
-constexpr Tag kAllreduceRdTag = Comm::kReservedTagBase + 0x300;  // + phase
-constexpr Tag kAllreduceRsTag = Comm::kReservedTagBase + 0x400;  // + step
-constexpr Tag kAllreduceAgTag = Comm::kReservedTagBase + 0x500;  // + step
-constexpr Tag kGatherTag = Comm::kReservedTagBase + 0x600;
-constexpr Tag kScatterTag = Comm::kReservedTagBase + 0x700;
-constexpr Tag kAlltoallTag = Comm::kReservedTagBase + 0x800;     // + round
-
-template <typename T>
-void combine(T* into, const T* other, std::size_t count, ReduceOp op) {
-  for (std::size_t i = 0; i < count; ++i) {
-    switch (op) {
-      case ReduceOp::kSum: into[i] = into[i] + other[i]; break;
-      case ReduceOp::kMax: into[i] = std::max(into[i], other[i]); break;
-      case ReduceOp::kMin: into[i] = std::min(into[i], other[i]); break;
-    }
-  }
-}
-}  // namespace
 
 Status Comm::recv_status(int src, Tag tag, void* buf, std::size_t cap) {
   Request req;
@@ -72,175 +33,83 @@ void Comm::sendrecv(int send_dst, Tag send_tag, const void* send_buf,
   wait(rreq);
 }
 
+void Comm::ibarrier(CollRequest& req) {
+  req.start_barrier(*this, next_coll_epoch());
+  engine_->start_coll(req);
+}
+
 void Comm::barrier() {
-  // Dissemination: after round k every rank has (transitively) heard from
-  // 2^(k+1) predecessors; ceil(log2 N) rounds synchronize everyone.
-  const int n = size();
-  int round = 0;
-  for (int k = 1; k < n; k <<= 1, ++round) {
-    const int dst = (rank_ + k) % n;
-    const int src = (rank_ - k + n) % n;
-    sendrecv(dst, kBarrierTag + static_cast<Tag>(round), nullptr, 0, src,
-             kBarrierTag + static_cast<Tag>(round), nullptr, 0);
+  CollRequest req;
+  ibarrier(req);
+  wait(req);
+}
+
+void Comm::ibcast(CollRequest& req, void* buf, std::size_t len, int root) {
+  // Validate before claiming an epoch: a throwing rank must not desync the
+  // cluster-wide collective sequence.
+  if (root < 0 || root >= size()) {
+    throw std::invalid_argument("Comm::ibcast: bad root");
   }
+  req.start_bcast(*this, next_coll_epoch(), buf, len, root);
+  engine_->start_coll(req);
 }
 
 void Comm::bcast(void* buf, std::size_t len, int root) {
-  const int n = size();
-  if (root < 0 || root >= n) {
-    throw std::invalid_argument("Comm::bcast: bad root");
-  }
-  const int vrank = (rank_ - root + n) % n;
-  // Receive from the parent: the parent differs at vrank's lowest set bit.
-  int mask = 1;
-  while (mask < n) {
-    if (vrank & mask) {
-      recv((rank_ - mask + n) % n, kBcastTag, buf, len);
-      break;
-    }
-    mask <<= 1;
-  }
-  // Forward to the children, largest subtree first (they have the most
-  // forwarding of their own left to do).
-  std::deque<Request> sends;
-  for (mask >>= 1; mask > 0; mask >>= 1) {
-    if (vrank + mask < n) {
-      sends.emplace_back();
-      isend(sends.back(), (rank_ + mask) % n, kBcastTag, buf, len);
-    }
-  }
-  for (Request& r : sends) wait(r);
+  CollRequest req;
+  ibcast(req, buf, len, root);
+  wait(req);
 }
 
-template <typename T>
-void Comm::allreduce(T* data, std::size_t count, ReduceOp op) {
-  static_assert(std::is_arithmetic_v<T>, "allreduce needs arithmetic T");
-  const int n = size();
-  if ((n & (n - 1)) == 0) {
-    // Power of two: recursive doubling — phase k exchanges the running
-    // result with the partner across hypercube dimension k.
-    std::vector<T> remote(count);
-    int phase = 0;
-    for (int mask = 1; mask < n; mask <<= 1, ++phase) {
-      const int partner = rank_ ^ mask;
-      const Tag tag = kAllreduceRdTag + static_cast<Tag>(phase);
-      sendrecv(partner, tag, data, count * sizeof(T), partner, tag,
-               remote.data(), count * sizeof(T));
-      combine(data, remote.data(), count, op);
-    }
-    return;
+void Comm::iallreduce_raw(CollRequest& req, void* data, std::size_t count,
+                          std::size_t elem_size,
+                          coll_detail::CombineFn combine, ReduceOp op) {
+  req.start_allreduce(*this, next_coll_epoch(), data, count, elem_size,
+                      combine, op);
+  engine_->start_coll(req);
+}
+
+void Comm::igather(CollRequest& req, const void* sendbuf, std::size_t len,
+                   void* recvbuf, int root) {
+  if (root < 0 || root >= size()) {
+    throw std::invalid_argument("Comm::igather: bad root");
   }
-  // Non-power-of-two: ring reduce-scatter then ring allgather over N
-  // near-equal element chunks (chunk c = elements [begin(c), begin(c+1))).
-  const int next = (rank_ + 1) % n;
-  const int prev = (rank_ - 1 + n) % n;
-  const auto begin = [&](int c) {
-    return (count * static_cast<std::size_t>(c)) / static_cast<std::size_t>(n);
-  };
-  std::vector<T> tmp(count / static_cast<std::size_t>(n) + 1);  // max chunk
-  // Reduce-scatter: after step s, rank r holds the partial reduction of
-  // s+2 ranks' chunk (r-s-1); after N-1 steps chunk (r+1) is complete.
-  for (int s = 0; s < n - 1; ++s) {
-    const int send_c = ((rank_ - s) % n + n) % n;
-    const int recv_c = ((rank_ - s - 1) % n + n) % n;
-    const std::size_t rlen = begin(recv_c + 1) - begin(recv_c);
-    Request sreq, rreq;
-    irecv(rreq, prev, kAllreduceRsTag + static_cast<Tag>(s), tmp.data(),
-          rlen * sizeof(T));
-    isend(sreq, next, kAllreduceRsTag + static_cast<Tag>(s), data + begin(send_c),
-          (begin(send_c + 1) - begin(send_c)) * sizeof(T));
-    wait(rreq);
-    combine(data + begin(recv_c), tmp.data(), rlen, op);
-    wait(sreq);
-  }
-  // Allgather: circulate the completed chunks the rest of the way round.
-  for (int s = 0; s < n - 1; ++s) {
-    const int send_c = ((rank_ + 1 - s) % n + n) % n;
-    const int recv_c = ((rank_ - s) % n + n) % n;
-    Request sreq, rreq;
-    irecv(rreq, prev, kAllreduceAgTag + static_cast<Tag>(s),
-          data + begin(recv_c),
-          (begin(recv_c + 1) - begin(recv_c)) * sizeof(T));
-    isend(sreq, next, kAllreduceAgTag + static_cast<Tag>(s),
-          data + begin(send_c),
-          (begin(send_c + 1) - begin(send_c)) * sizeof(T));
-    wait(rreq);
-    wait(sreq);
-  }
+  req.start_gather(*this, next_coll_epoch(), sendbuf, len, recvbuf, root);
+  engine_->start_coll(req);
 }
 
 void Comm::gather(const void* sendbuf, std::size_t len, void* recvbuf,
                   int root) {
-  const int n = size();
-  if (root < 0 || root >= n) {
-    throw std::invalid_argument("Comm::gather: bad root");
+  CollRequest req;
+  igather(req, sendbuf, len, recvbuf, root);
+  wait(req);
+}
+
+void Comm::iscatter(CollRequest& req, const void* sendbuf, std::size_t len,
+                    void* recvbuf, int root) {
+  if (root < 0 || root >= size()) {
+    throw std::invalid_argument("Comm::iscatter: bad root");
   }
-  if (rank_ != root) {
-    send(root, kGatherTag, sendbuf, len);
-    return;
-  }
-  auto* out = static_cast<uint8_t*>(recvbuf);
-  if (len > 0) {
-    std::memcpy(out + static_cast<std::size_t>(rank_) * len, sendbuf, len);
-  }
-  std::deque<Request> reqs;
-  for (int p = 0; p < n; ++p) {
-    if (p == rank_) continue;
-    reqs.emplace_back();
-    irecv(reqs.back(), p, kGatherTag, out + static_cast<std::size_t>(p) * len,
-          len);
-  }
-  for (Request& r : reqs) wait(r);
+  req.start_scatter(*this, next_coll_epoch(), sendbuf, len, recvbuf, root);
+  engine_->start_coll(req);
 }
 
 void Comm::scatter(const void* sendbuf, std::size_t len, void* recvbuf,
                    int root) {
-  const int n = size();
-  if (root < 0 || root >= n) {
-    throw std::invalid_argument("Comm::scatter: bad root");
-  }
-  if (rank_ != root) {
-    recv(root, kScatterTag, recvbuf, len);
-    return;
-  }
-  const auto* in = static_cast<const uint8_t*>(sendbuf);
-  if (len > 0) {
-    std::memcpy(recvbuf, in + static_cast<std::size_t>(rank_) * len, len);
-  }
-  std::deque<Request> reqs;
-  for (int p = 0; p < n; ++p) {
-    if (p == rank_) continue;
-    reqs.emplace_back();
-    isend(reqs.back(), p, kScatterTag, in + static_cast<std::size_t>(p) * len,
-          len);
-  }
-  for (Request& r : reqs) wait(r);
+  CollRequest req;
+  iscatter(req, sendbuf, len, recvbuf, root);
+  wait(req);
+}
+
+void Comm::ialltoall(CollRequest& req, const void* sendbuf, std::size_t len,
+                     void* recvbuf) {
+  req.start_alltoall(*this, next_coll_epoch(), sendbuf, len, recvbuf);
+  engine_->start_coll(req);
 }
 
 void Comm::alltoall(const void* sendbuf, std::size_t len, void* recvbuf) {
-  const int n = size();
-  const auto* in = static_cast<const uint8_t*>(sendbuf);
-  auto* out = static_cast<uint8_t*>(recvbuf);
-  if (len > 0) {
-    std::memcpy(out + static_cast<std::size_t>(rank_) * len,
-                in + static_cast<std::size_t>(rank_) * len, len);
-  }
-  // Pairwise exchange: in round s every rank talks to ranks ±s — all N
-  // ranks busy every round, no hot spot.
-  for (int s = 1; s < n; ++s) {
-    const int dst = (rank_ + s) % n;
-    const int src = (rank_ - s + n) % n;
-    const Tag tag = kAlltoallTag + static_cast<Tag>(s);
-    sendrecv(dst, tag, in + static_cast<std::size_t>(dst) * len, len, src, tag,
-             out + static_cast<std::size_t>(src) * len, len);
-  }
+  CollRequest req;
+  ialltoall(req, sendbuf, len, recvbuf);
+  wait(req);
 }
-
-// The instantiations the library ships (add more as needed).
-template void Comm::allreduce<int32_t>(int32_t*, std::size_t, ReduceOp);
-template void Comm::allreduce<int64_t>(int64_t*, std::size_t, ReduceOp);
-template void Comm::allreduce<uint64_t>(uint64_t*, std::size_t, ReduceOp);
-template void Comm::allreduce<float>(float*, std::size_t, ReduceOp);
-template void Comm::allreduce<double>(double*, std::size_t, ReduceOp);
 
 }  // namespace piom::mpi

@@ -1,0 +1,60 @@
+// Engine base: the per-rank registry of in-flight collective state
+// machines (CollOps) and the default caller-driven completion paths. The
+// engines differ only in *where* advance_colls() runs from — pioman's
+// background poll tasks vs. the global-lock engines' MPI-call-driven
+// progress — which is the paper's progression argument extended to
+// collectives.
+#include "mpi/engine.hpp"
+
+#include "mpi/coll.hpp"
+
+namespace piom::mpi {
+
+void Engine::start_coll(CollOp& op) {
+  // Take the lock blocking (unlike the opportunistic sweeps): round 0's
+  // point-to-point requests must be on the wire when this returns, even if
+  // a background sweep holds the registry right now.
+  coll_lock_.lock();
+  colls_.push_back(&op);
+  ncolls_.fetch_add(1, std::memory_order_release);
+  sweep_colls();
+  coll_lock_.unlock();
+}
+
+void Engine::advance_colls() {
+  if (ncolls_.load(std::memory_order_acquire) == 0) return;
+  if (!coll_lock_.try_lock()) return;  // a sweep is already running
+  sweep_colls();
+  coll_lock_.unlock();
+}
+
+void Engine::sweep_colls() {
+  for (std::size_t i = 0; i < colls_.size();) {
+    CollOp* op = colls_[i];
+    if (op->advance()) {
+      colls_.erase(colls_.begin() + static_cast<std::ptrdiff_t>(i));
+      ncolls_.fetch_sub(1, std::memory_order_release);
+      // Delist BEFORE completing: complete() is the engine's last touch of
+      // the op — the owner may reuse or destroy the handle the instant it
+      // observes done(), and no sweep may still hold a pointer to it.
+      op->core().complete();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Engine::test_coll(CollOp& op) {
+  if (op.done()) return true;
+  progress();
+  advance_colls();
+  return op.done();
+}
+
+void Engine::wait_coll(CollOp& op) {
+  // Caller-driven default: the blocked caller is the progress source.
+  while (!test_coll(op)) {
+  }
+}
+
+}  // namespace piom::mpi

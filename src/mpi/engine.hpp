@@ -8,14 +8,18 @@
 // precisely the paper's point.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "mpi/request.hpp"
 #include "nmad/gate.hpp"
+#include "sync/spinlock.hpp"
 
 namespace piom::mpi {
+
+class CollOp;
 
 class Engine {
  public:
@@ -42,10 +46,45 @@ class Engine {
   /// rank's last blocking call has returned.
   virtual void progress() {}
 
+  // ---- engine-progressed collectives (CollOp state machines) ----
+
+  /// Enlist a freshly started collective and kick its first advance, so
+  /// round 0's point-to-point requests hit the wire before this returns.
+  /// The op's storage is caller-owned and must stay valid until done().
+  void start_coll(CollOp& op);
+  /// Nonblocking completion check: drives one round of engine progress and
+  /// advances every in-flight collective (like MPI_Test on an NBC request).
+  virtual bool test_coll(CollOp& op);
+  /// Block until the collective completes. The default spins on
+  /// test_coll() — right for caller-driven engines, where the blocked
+  /// caller IS the progress source; engines with background progression
+  /// override it to park the caller instead.
+  virtual void wait_coll(CollOp& op);
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Stop background machinery (idempotent; called before teardown).
   virtual void shutdown() {}
+
+ protected:
+  /// Advance every enlisted collective as far as its in-flight requests
+  /// allow; finished ops are delisted, then completed — the completion
+  /// store is this registry's final touch, so the owner may reuse the
+  /// handle the instant done() reads true. Serialized per engine by a
+  /// try-lock: a caller that finds a sweep already running skips (the
+  /// running sweep does the work). Every engine calls this from each of
+  /// its progress paths, which is what makes the collectives progress
+  /// while the application computes.
+  void advance_colls();
+
+ private:
+  /// One pass over the registry: advance, delist + complete finished ops.
+  /// Requires coll_lock_ held.
+  void sweep_colls();
+
+  sync::SpinLock coll_lock_;        ///< guards colls_; serializes sweeps
+  std::vector<CollOp*> colls_;      ///< in-flight collectives of this rank
+  std::atomic<int> ncolls_{0};      ///< lock-free empty fast path
 };
 
 }  // namespace piom::mpi

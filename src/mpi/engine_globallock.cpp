@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "mpi/coll.hpp"
+
 namespace piom::mpi {
 
 GlobalLockEngine::GlobalLockEngine(nmad::Session& session,
@@ -52,8 +54,11 @@ void GlobalLockEngine::irecv_any(Request& req,
 void GlobalLockEngine::wait(Request& req) {
   nmad::RequestCore& core = req.req_core();
   // Caller-driven progress: every blocked thread hammers the big lock.
+  // In-flight collectives must advance here too — a rank blocked on a
+  // point-to-point wait may owe other ranks its collective rounds.
   while (!core.completed()) {
     locked_progress();
+    advance_colls();
     if (config_.yield_in_wait) std::this_thread::yield();
   }
 }
@@ -61,7 +66,26 @@ void GlobalLockEngine::wait(Request& req) {
 bool GlobalLockEngine::test(Request& req) {
   if (req.done()) return true;
   locked_progress();
+  advance_colls();
   return req.done();
+}
+
+bool GlobalLockEngine::test_coll(CollOp& op) {
+  // Not the base default (progress() + advance_colls()): our progress()
+  // already sweeps the registry, so that path would sweep twice per call —
+  // wasteful on wait_coll's hard spin.
+  if (op.done()) return true;
+  locked_progress();
+  advance_colls();
+  return op.done();
+}
+
+void GlobalLockEngine::wait_coll(CollOp& op) {
+  // Same spin as wait(): test_coll drives progress + collectives; the
+  // OpenMPI flavour yields between attempts, MVAPICH hard-spins.
+  while (!test_coll(op)) {
+    if (config_.yield_in_wait) std::this_thread::yield();
+  }
 }
 
 }  // namespace piom::mpi

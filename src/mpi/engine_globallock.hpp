@@ -44,7 +44,12 @@ class GlobalLockEngine final : public Engine {
                  void* buf, std::size_t cap) override;
   void wait(Request& req) override;
   bool test(Request& req) override;
-  void progress() override { locked_progress(); }
+  bool test_coll(CollOp& op) override;
+  void wait_coll(CollOp& op) override;
+  void progress() override {
+    locked_progress();
+    advance_colls();
+  }
   [[nodiscard]] std::string name() const override { return config_.label; }
 
   /// Lock acquisitions so far (the Fig-4 bench reports contention).

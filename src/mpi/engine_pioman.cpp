@@ -1,5 +1,6 @@
 #include "mpi/engine_pioman.hpp"
 
+#include "mpi/coll.hpp"
 #include "util/log.hpp"
 
 namespace piom::mpi {
@@ -28,6 +29,10 @@ TaskResult PiomanEngine::poll_trampoline(void* arg) {
   if (pt->gate->pending_sends() > 0) pt->gate->flush();
   // Reliability: the rail-0 poller owns the retransmission timer.
   if (pt->rail == 0) pt->gate->check_retransmits();
+  // Collectives progress in the background too: whichever poll task runs
+  // after a round's requests complete posts the next round — the caller
+  // can compute (or park in wait) through the whole collective.
+  pt->engine->advance_colls();
   return TaskResult::kAgain;
 }
 
@@ -150,6 +155,21 @@ bool PiomanEngine::test(Request& req) {
   // MPI_Test drives progress: contribute one scheduling pass.
   runtime_.schedule_here();
   return req.done();
+}
+
+bool PiomanEngine::test_coll(CollOp& op) {
+  if (op.done()) return true;
+  runtime_.schedule_here();  // one scheduling pass (runs poll tasks)
+  advance_colls();
+  return op.done();
+}
+
+void PiomanEngine::wait_coll(CollOp& op) {
+  if (op.done()) return;
+  // Park like wait(): the background poll tasks advance the collective's
+  // rounds and the finishing sweep posts the completion semaphore.
+  sched::BlockingSection bs(runtime_);
+  op.core().wait_done();
 }
 
 void PiomanEngine::shutdown() {

@@ -55,6 +55,8 @@ class PiomanEngine final : public Engine {
                  void* buf, std::size_t cap) override;
   void wait(Request& req) override;
   bool test(Request& req) override;
+  bool test_coll(CollOp& op) override;
+  void wait_coll(CollOp& op) override;
   [[nodiscard]] std::string name() const override { return "pioman"; }
   void shutdown() override;
 

@@ -150,13 +150,33 @@ nmad::Gate& Comm::gate_to(int peer) {
   return *gates_[static_cast<std::size_t>(peer)];
 }
 
+void Comm::check_app_tag(Tag tag, bool is_recv, const char* who) const {
+  if (is_recv && tag == kAnyTag) return;
+  if (nmad::tag_is_reserved(tag)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": tag in reserved (collective) space");
+  }
+}
+
 void Comm::isend(Request& req, int dst, Tag tag, const void* buf,
                  std::size_t len) {
+  check_app_tag(tag, /*is_recv=*/false, "Comm::isend");
+  isend_reserved(req, dst, tag, buf, len);
+}
+
+void Comm::irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap) {
+  check_app_tag(tag, /*is_recv=*/true, "Comm::irecv");
+  irecv_reserved(req, src, tag, buf, cap);
+}
+
+void Comm::isend_reserved(Request& req, int dst, Tag tag, const void* buf,
+                          std::size_t len) {
   check_peer(dst, "Comm::isend");
   engine_->isend(req, *gates_[static_cast<std::size_t>(dst)], tag, buf, len);
 }
 
-void Comm::irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap) {
+void Comm::irecv_reserved(Request& req, int src, Tag tag, void* buf,
+                          std::size_t cap) {
   if (src == kAnySource) {
     engine_->irecv_any(req, gates_, tag, buf, cap);
     return;

@@ -13,10 +13,13 @@
 //   world.comm(rank).bcast(buf, len, /*root=*/0);   // on every rank
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "mpi/coll.hpp"
 #include "mpi/engine.hpp"
 #include "mpi/engine_pioman.hpp"
 #include "nmad/session.hpp"
@@ -102,26 +105,31 @@ struct Status {
   std::size_t bytes = 0;  ///< payload bytes delivered
 };
 
-/// Reduction operators for allreduce().
-enum class ReduceOp { kSum, kMax, kMin };
-
 /// Per-rank MPI-like interface: N ranks, reliable, tag- and source-matched.
-/// Tags >= kReservedTagBase are reserved for the collectives.
+/// Tags >= kReservedTagBase are reserved for the collectives (ReduceOp and
+/// the CollRequest handle live in mpi/coll.hpp).
 class Comm {
  public:
-  /// Wildcard receive tag (MPI_ANY_TAG).
+  /// Wildcard receive tag (MPI_ANY_TAG). Matches application traffic only:
+  /// reserved-tag (collective/internal) packets are never claimed by a
+  /// wildcard, so wildcard receives compose with in-flight collectives.
   static constexpr Tag kAnyTag = nmad::kAnyTag;
   /// Wildcard receive source (MPI_ANY_SOURCE): matches the first arrival
   /// from any peer; Status.source reports who sent it.
   static constexpr int kAnySource = -1;
-  /// First tag reserved for internal (collective) traffic.
-  static constexpr Tag kReservedTagBase = 0xffff0000u;
+  /// First tag reserved for internal (collective) traffic. The reserved
+  /// space is laid out as epoch/kind/round — see mpi/coll.hpp.
+  static constexpr Tag kReservedTagBase = nmad::kReservedTagBase;
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return static_cast<int>(gates_.size()); }
 
+  /// `tag` must be an application tag (below kReservedTagBase — enforced,
+  /// since a send into the reserved space would collide with the
+  /// epoch-stamped collective tags).
   void isend(Request& req, int dst, Tag tag, const void* buf, std::size_t len);
-  /// `src` may be kAnySource.
+  /// `src` may be kAnySource; `tag` may be kAnyTag, otherwise it must be
+  /// an application tag (below kReservedTagBase — enforced).
   void irecv(Request& req, int src, Tag tag, void* buf, std::size_t cap);
   void wait(Request& req) { engine_->wait(req); }
   [[nodiscard]] bool test(Request& req) { return engine_->test(req); }
@@ -149,33 +157,62 @@ class Comm {
 
   // ---- collectives (every rank must call, in the same order; internally
   // ---- use reserved tags so they compose with application traffic) ------
+  //
+  // Each collective exists in two forms: the nonblocking i…() starts an
+  // engine-progressed CollOp state machine into the caller-owned `req`
+  // (complete it with test()/wait(); several may be in flight at once —
+  // the per-Comm epoch in the reserved tags keeps them from
+  // cross-matching), and the blocking form, which is exactly i…() +
+  // wait(). All buffers passed to an i…() call must stay valid until the
+  // request completes.
 
   /// Synchronize all ranks (dissemination algorithm, ceil(log2 N) rounds).
+  void ibarrier(CollRequest& req);
   void barrier();
 
   /// Broadcast `len` bytes from `root` to every rank (binomial tree).
+  void ibcast(CollRequest& req, void* buf, std::size_t len, int root);
   void bcast(void* buf, std::size_t len, int root);
 
   /// Element-wise reduction across all ranks; every rank ends up with the
   /// combined result. Recursive doubling when N is a power of two, ring
   /// reduce-scatter + allgather otherwise. T must be an arithmetic type.
   template <typename T>
-  void allreduce(T* data, std::size_t count, ReduceOp op);
+  void iallreduce(CollRequest& req, T* data, std::size_t count, ReduceOp op) {
+    static_assert(std::is_arithmetic_v<T>, "iallreduce needs arithmetic T");
+    iallreduce_raw(req, data, count, sizeof(T), &coll_detail::combine<T>, op);
+  }
+  template <typename T>
+  void allreduce(T* data, std::size_t count, ReduceOp op) {
+    CollRequest req;
+    iallreduce(req, data, count, op);
+    wait(req);
+  }
 
   /// Root collects `len` bytes from every rank: rank i's block lands at
   /// recvbuf + i*len. `recvbuf` is only used on the root (pass nullptr
   /// elsewhere).
+  void igather(CollRequest& req, const void* sendbuf, std::size_t len,
+               void* recvbuf, int root);
   void gather(const void* sendbuf, std::size_t len, void* recvbuf, int root);
 
   /// Root distributes `len`-byte blocks: rank i receives sendbuf + i*len
   /// into recvbuf. `sendbuf` is only used on the root (pass nullptr
   /// elsewhere).
+  void iscatter(CollRequest& req, const void* sendbuf, std::size_t len,
+                void* recvbuf, int root);
   void scatter(const void* sendbuf, std::size_t len, void* recvbuf, int root);
 
   /// Every rank sends block d (sendbuf + d*len) to rank d and receives
   /// rank s's block at recvbuf + s*len (pairwise exchange, N-1 rounds).
   /// Buffers must not alias.
+  void ialltoall(CollRequest& req, const void* sendbuf, std::size_t len,
+                 void* recvbuf);
   void alltoall(const void* sendbuf, std::size_t len, void* recvbuf);
+
+  /// Complete a collective (MPI_Wait / MPI_Test on an NBC request).
+  void wait(CollRequest& req) { engine_->wait_coll(req); }
+  [[nodiscard]] bool test(CollRequest& req) { return engine_->test_coll(req); }
 
   [[nodiscard]] Engine& engine() { return *engine_; }
   /// Gate towards `peer` (throws on self / out of range).
@@ -183,16 +220,39 @@ class Comm {
 
  private:
   friend class World;
+  friend class CollOp;  // posts reserved-tag rounds through the _reserved paths
   Comm(int rank, Engine* engine, std::vector<nmad::Gate*> gates)
       : rank_(rank), engine_(engine), gates_(std::move(gates)) {}
 
   /// Throws unless `peer` is a valid rank other than rank_.
   void check_peer(int peer, const char* who) const;
+  /// Throws when an application operation names a reserved-space tag
+  /// (kAnyTag is permitted on receives and rejected on sends, where it has
+  /// never been valid).
+  void check_app_tag(Tag tag, bool is_recv, const char* who) const;
+
+  /// Unchecked variants for the collectives' own reserved-tag traffic.
+  void isend_reserved(Request& req, int dst, Tag tag, const void* buf,
+                      std::size_t len);
+  void irecv_reserved(Request& req, int src, Tag tag, void* buf,
+                      std::size_t cap);
+
+  /// Type-erased iallreduce (the template above instantiates the combine).
+  void iallreduce_raw(CollRequest& req, void* data, std::size_t count,
+                      std::size_t elem_size, coll_detail::CombineFn combine,
+                      ReduceOp op);
+  /// Claim the next collective sequence number. Every rank issues its
+  /// collectives in the same order (MPI semantics), so the counters agree
+  /// cluster-wide and the epoch can live in the tags.
+  uint32_t next_coll_epoch() {
+    return coll_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   int rank_;
   Engine* engine_;
   /// By peer rank; the entry at rank_ is null (no self-gate).
   std::vector<nmad::Gate*> gates_;
+  std::atomic<uint32_t> coll_epoch_{0};
 };
 
 }  // namespace piom::mpi

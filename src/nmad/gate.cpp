@@ -10,6 +10,17 @@
 
 namespace piom::nmad {
 
+namespace {
+/// Tag-matching predicate shared by every scan (expected queue, staged
+/// unexpected arrivals). kAnyTag is an application-level wildcard: it never
+/// matches reserved-space (collective/internal) traffic, so a wildcard
+/// receive posted while a collective runs cannot claim its packets.
+[[nodiscard]] bool recv_tag_matches(const RecvRequest& req, Tag arrival) {
+  if (req.tag == arrival) return true;
+  return req.tag == kAnyTag && !tag_is_reserved(arrival);
+}
+}  // namespace
+
 Gate::Gate(Session& session, std::vector<transport::IChannel*> rails,
            int peer_rank)
     : session_(session), peer_rank_(peer_rank) {
@@ -352,14 +363,14 @@ Gate::MatchResult Gate::match_unexpected(RecvRequest& req) {
   // the lock held.
   auto eager_it = unex_eager_.end();
   for (auto it = unex_eager_.begin(); it != unex_eager_.end(); ++it) {
-    if ((req.tag == kAnyTag || it->tag == req.tag) &&
+    if (recv_tag_matches(req, it->tag) &&
         (eager_it == unex_eager_.end() || it->seq < eager_it->seq)) {
       eager_it = it;
     }
   }
   auto rts_it = unex_rts_.end();
   for (auto it = unex_rts_.begin(); it != unex_rts_.end(); ++it) {
-    if ((req.tag == kAnyTag || it->tag == req.tag) &&
+    if (recv_tag_matches(req, it->tag) &&
         (rts_it == unex_rts_.end() || it->seq < rts_it->seq)) {
       rts_it = it;
     }
@@ -503,7 +514,7 @@ void Gate::handle_eager(const PktHeader& hdr, const uint8_t* payload) {
   stats_.eager_recv++;
   for (auto it = expected_.begin(); it != expected_.end();) {
     RecvRequest* req = *it;
-    if (req->tag != hdr.tag && req->tag != kAnyTag) {
+    if (!recv_tag_matches(*req, hdr.tag)) {
       ++it;
       continue;
     }
@@ -560,7 +571,7 @@ void Gate::handle_rts(const PktHeader& hdr) {
   lock_.lock();
   for (auto it = expected_.begin(); it != expected_.end();) {
     RecvRequest* req = *it;
-    if (req->tag != hdr.tag && req->tag != kAnyTag) {
+    if (!recv_tag_matches(*req, hdr.tag)) {
       ++it;
       continue;
     }

@@ -19,9 +19,24 @@ namespace piom::nmad {
 using Tag = uint32_t;
 
 /// Wildcard receive tag (MPI_ANY_TAG equivalent): matches any arriving
-/// message; ties are broken by sequence number (arrival order). Not valid
-/// on the send side.
+/// *application* message; ties are broken by sequence number (arrival
+/// order). Not valid on the send side. Reserved-tag (internal) traffic is
+/// never matched by the wildcard — see tag_is_reserved below.
 inline constexpr Tag kAnyTag = 0xffffffffu;
+
+/// First tag of the reserved (internal/collective) space. The upper layers
+/// lay out collective epoch/kind/round tags above this base; application
+/// traffic must stay below it. The matcher guards the boundary: a kAnyTag
+/// receive (directed or any-source) only ever claims application-tag
+/// arrivals, so a wildcard posted while a collective is in flight cannot
+/// steal the collective's packets.
+inline constexpr Tag kReservedTagBase = 0xf0000000u;
+
+/// True when `t` is an internal (reserved-space) wire tag. Arrivals never
+/// carry kAnyTag, so the sentinel needs no special-casing here.
+[[nodiscard]] inline constexpr bool tag_is_reserved(Tag t) {
+  return t >= kReservedTagBase;
+}
 
 enum class PktKind : uint8_t {
   kEager = 1,
