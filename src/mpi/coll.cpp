@@ -33,6 +33,7 @@ void CollOp::start(Comm& comm, Algo algo, uint32_t epoch) {
   mask_ = 0;
   reqs_.clear();
   active_ = true;
+  failing_ = false;
   core_.reset();
 }
 
@@ -106,12 +107,64 @@ void CollOp::post_recv(int src, Tag t, void* buf, std::size_t cap) {
 
 bool CollOp::advance() {
   for (;;) {
+    if (!failing_ &&
+        (comm_->engine().has_failures() ||
+         std::any_of(reqs_.begin(), reqs_.end(),
+                     [](const Request& r) { return r.failed(); }))) {
+      // A rank died — either our detector said so, or a round request
+      // error-completed against an evicted gate. Stop running rounds: a
+      // poisoned peer will never send its share, so the algorithm cannot
+      // finish. Every survivor reaches this branch on its own detection.
+      failing_ = true;
+    }
+    if (failing_) return advance_failing();
     for (const Request& r : reqs_) {
       if (!r.done()) return false;  // the round is still on the wire
+      // Re-check failed() under the done() acquire: the detector's
+      // fail_peer may error-complete a round request between the scan
+      // above and this one, and a failed round that slips through here
+      // would be cleared below and its rank's failure silently dropped.
+      // (done() is read first on purpose — mark_failed happens-before the
+      // completion store, so observing done==true makes failed() visible.)
+      if (r.failed()) {
+        failing_ = true;
+        break;
+      }
     }
+    if (failing_) continue;
     reqs_.clear();
     if (!step()) return true;
   }
+}
+
+bool CollOp::advance_failing() {
+  // Error-completion drain. Receives parked on *live* peers must be
+  // cancelled: the sender is a survivor that also observed the failure and
+  // will never run this round — waiting on it would trade a hang on the
+  // dead rank for a hang on a live one. (Receives on the dead gate were
+  // already error-completed by its eviction; sends always TX-complete,
+  // severed channels included.)
+  bool all_done = true;
+  for (Request& r : reqs_) {
+    if (r.done()) continue;
+    if (!r.is_send()) {
+      nmad::RecvRequest& rr = r.recv_req();
+      if (rr.wild_gates != nullptr) {
+        for (nmad::Gate* g : *rr.wild_gates) {
+          if (g != nullptr && g->cancel_recv(rr)) break;
+        }
+      } else if (rr.gate != nullptr) {
+        rr.gate->cancel_recv(rr);
+      }
+    }
+    if (!r.done()) all_done = false;  // matched mid-cancel: next sweep
+  }
+  if (!all_done) return false;
+  reqs_.clear();
+  // Failed BEFORE the registry's complete(): the done-acquire in the
+  // owner's test()/wait() synchronizes the flag.
+  core_.mark_failed();
+  return true;
 }
 
 bool CollOp::step() {

@@ -102,6 +102,14 @@ class CollOp {
 
   /// True once the collective has completed (stable until reuse).
   [[nodiscard]] bool done() const { return core_.completed(); }
+  /// True when the collective error-completed because a rank failed
+  /// mid-flight (ULFM-style: one dead rank poisons every in-flight and
+  /// subsequent collective on the communicator — each survivor detects
+  /// the failure independently, so no outcome-agreement protocol runs).
+  /// Only meaningful once done().
+  [[nodiscard]] bool failed() const {
+    return done() && core_.has_failed();
+  }
   /// True once the handle has carried a collective. Like Request::active()
   /// it stays true after completion (check done() for in-flight-ness).
   [[nodiscard]] bool active() const { return active_; }
@@ -144,6 +152,11 @@ class CollOp {
                      std::size_t len, void* recvbuf, int root);
   void start_alltoall(Comm& comm, uint32_t epoch, const void* sendbuf,
                       std::size_t len, void* recvbuf);
+
+  /// Failure teardown: cancel the round's parked receives, then finish
+  /// with core_ marked failed once every request is terminal. Returns true
+  /// when the op may be delisted (mirrors advance()).
+  bool advance_failing();
 
   /// Run the current phase's continuation and post the next round's
   /// point-to-point requests. Returns false when the collective finished.
@@ -188,6 +201,7 @@ class CollOp {
   std::vector<uint8_t> scratch_;  ///< allreduce: partner data / ring chunk
 
   bool active_ = false;
+  bool failing_ = false;  ///< a rank died: draining towards error completion
   nmad::RequestCore core_;
 };
 

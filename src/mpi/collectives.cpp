@@ -20,6 +20,8 @@ Status Comm::recv_status(int src, Tag tag, void* buf, std::size_t cap) {
   st.bytes = req.recv_req().received;
   st.tag = req.recv_req().matched_tag;
   st.source = req.recv_req().source;
+  st.peer_failed = req.failed();
+  if (st.peer_failed) st.bytes = 0;  // error completion delivers nothing
   return st;
 }
 

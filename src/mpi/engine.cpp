@@ -7,8 +7,14 @@
 #include "mpi/engine.hpp"
 
 #include "mpi/coll.hpp"
+#include "mpi/failure.hpp"
 
 namespace piom::mpi {
+
+bool Engine::has_failures() const {
+  const FailureDetector* fd = fd_.load(std::memory_order_acquire);
+  return fd != nullptr && fd->any_failed();
+}
 
 void Engine::start_coll(CollOp& op) {
   // Take the lock blocking (unlike the opportunistic sweeps): round 0's
@@ -22,6 +28,11 @@ void Engine::start_coll(CollOp& op) {
 }
 
 void Engine::advance_colls() {
+  // The detector ticks BEFORE the empty fast path: liveness must keep
+  // flowing (and dead peers must keep being detected) when no collective
+  // is in flight — a rank blocked in a p2p wait still calls this.
+  FailureDetector* fd = fd_.load(std::memory_order_acquire);
+  if (fd != nullptr) fd->tick();
   if (ncolls_.load(std::memory_order_acquire) == 0) return;
   if (!coll_lock_.try_lock()) return;  // a sweep is already running
   sweep_colls();

@@ -20,6 +20,7 @@
 namespace piom::mpi {
 
 class CollOp;
+class FailureDetector;
 
 class Engine {
  public:
@@ -63,6 +64,24 @@ class Engine {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  // ---- failure detection (engine-progressed; see mpi/failure.hpp) ----
+
+  /// Attach this rank's failure detector: advance_colls() — i.e. every
+  /// progress path of every engine — ticks it from then on. The detector
+  /// must outlive the engine's last progress call (World owns both).
+  /// Atomic because PIOMan's background poll tasks are already calling
+  /// advance_colls() by the time World attaches; they read null (no
+  /// detector yet) or the pointer, never a torn value.
+  void attach_detector(FailureDetector* fd) {
+    fd_.store(fd, std::memory_order_release);
+  }
+  [[nodiscard]] FailureDetector* detector() const {
+    return fd_.load(std::memory_order_acquire);
+  }
+  /// True once the detector declared any peer failed (false when no
+  /// detector is attached). Collectives poison themselves on this.
+  [[nodiscard]] bool has_failures() const;
+
   /// Stop background machinery (idempotent; called before teardown).
   virtual void shutdown() {}
 
@@ -85,6 +104,8 @@ class Engine {
   sync::SpinLock coll_lock_;        ///< guards colls_; serializes sweeps
   std::vector<CollOp*> colls_;      ///< in-flight collectives of this rank
   std::atomic<int> ncolls_{0};      ///< lock-free empty fast path
+  /// Optional; ticked by advance_colls(). See attach_detector on atomicity.
+  std::atomic<FailureDetector*> fd_{nullptr};
 };
 
 }  // namespace piom::mpi

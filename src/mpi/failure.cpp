@@ -1,0 +1,86 @@
+#include "mpi/failure.hpp"
+
+#include <algorithm>
+
+#include "nmad/session.hpp"
+#include "util/timing.hpp"
+
+namespace piom::mpi {
+
+FailureDetector::FailureDetector(nmad::Session& session, int rank, int nranks,
+                                 FailureConfig config)
+    : session_(session),
+      rank_(rank),
+      nranks_(nranks),
+      config_(config),
+      period_ns_(static_cast<int64_t>(config.heartbeat_period_us * 1e3)),
+      timeout_ns_(static_cast<int64_t>(config.heartbeat_period_us * 1e3) *
+                  config.timeout_periods),
+      start_ns_(util::now_ns()),
+      dead_(new std::atomic<bool>[static_cast<std::size_t>(nranks)]) {
+  for (int r = 0; r < nranks_; ++r) {
+    dead_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+  }
+}
+
+void FailureDetector::tick() {
+  // Hot path: one relaxed-ish load pair per progress iteration. A pass runs
+  // at most once per heartbeat period, from whichever thread gets here
+  // first; concurrent callers skip via the try-lock.
+  const int64_t now = util::now_ns();
+  if (now - last_pass_ns_.load(std::memory_order_acquire) < period_ns_) {
+    return;
+  }
+  if (!lock_.try_lock()) return;
+  if (now - last_pass_ns_.load(std::memory_order_relaxed) < period_ns_) {
+    lock_.unlock();  // lost the race to another pass
+    return;
+  }
+  last_pass_ns_.store(now, std::memory_order_release);
+  for (std::size_t g = 0; g < session_.gate_count(); ++g) {
+    nmad::Gate& gate = session_.gate(g);
+    const int peer = gate.peer_rank();
+    if (peer < 0 || peer >= nranks_) continue;
+    if (dead_[static_cast<std::size_t>(peer)].load(
+            std::memory_order_relaxed)) {
+      continue;
+    }
+    // A peer that never sent anything is measured from detector start, not
+    // from the epoch — otherwise every world boots "failed".
+    const int64_t heard = std::max(gate.last_heard_ns(), start_ns_);
+    if (now - heard > timeout_ns_) {
+      dead_[static_cast<std::size_t>(peer)].store(true,
+                                                  std::memory_order_release);
+      any_failed_.store(true, std::memory_order_release);
+      gate.fail_peer();  // evict: error-complete everything parked on it
+      if (callback_) callback_(peer);
+    } else {
+      gate.send_ping();
+    }
+  }
+  lock_.unlock();
+}
+
+bool FailureDetector::rank_failed(int rank) const {
+  if (rank < 0 || rank >= nranks_) return false;
+  return dead_[static_cast<std::size_t>(rank)].load(
+      std::memory_order_acquire);
+}
+
+std::vector<int> FailureDetector::failed_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < nranks_; ++r) {
+    if (dead_[static_cast<std::size_t>(r)].load(std::memory_order_acquire)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void FailureDetector::on_rank_failed(std::function<void(int)> cb) {
+  lock_.lock();
+  callback_ = std::move(cb);
+  lock_.unlock();
+}
+
+}  // namespace piom::mpi

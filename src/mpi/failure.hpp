@@ -1,0 +1,92 @@
+// Heartbeat failure detector (ULFM-flavoured fault tolerance for the
+// mini-MPI layer). One detector per rank, driven as engine-progressed work:
+// every progress path of every engine calls tick() (via
+// Engine::advance_colls()), which rate-limits itself to one pass per
+// heartbeat period. A pass sends one kPing per live gate and declares a
+// peer failed when nothing — ping, ack, or payload — has arrived from it
+// for `timeout_periods` heartbeat periods; Gate::fail_peer() then
+// error-completes everything parked on the dead rank (see gate.hpp).
+//
+// Detection is local and independent: there is no failure-propagation
+// protocol, because every survivor stops hearing from the dead rank and
+// reaches the same verdict within one detection bound. The flip side of
+// engine-progressed detection is the paper's progression argument in
+// miniature: caller-driven engines only tick while the application sits in
+// an MPI call, so an idle rank neither pings nor detects — which is also
+// why the detector must be opt-in (an idle-but-healthy rank would
+// otherwise be declared dead by its busy peers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+
+namespace piom::nmad {
+class Session;
+}
+
+namespace piom::mpi {
+
+struct FailureConfig {
+  /// Off by default: heartbeats only flow while engines progress, so a
+  /// world whose ranks idle between MPI calls (the caller-driven engines)
+  /// would produce false positives. Enable for fault-tolerant runs.
+  bool enabled = false;
+  /// Heartbeat period (µs): at most one detector pass — one kPing per live
+  /// gate — per period, whichever thread's progress path gets there first.
+  double heartbeat_period_us = 2000.0;
+  /// Silence threshold, in heartbeat periods. The detection bound is
+  /// roughly (timeout_periods + 1) periods of the *slowest* ticking
+  /// survivor. Keep it large enough to absorb scheduling noise: a ping is
+  /// only as regular as the progress path that sends it.
+  int timeout_periods = 25;
+};
+
+/// Per-rank detector. Thread-safe: tick() may be called concurrently from
+/// any progress path (pioman's background poll tasks, the global-lock
+/// engines' callers); passes are serialized by a try-lock and skipped
+/// while one is running.
+class FailureDetector {
+ public:
+  FailureDetector(nmad::Session& session, int rank, int nranks,
+                  FailureConfig config);
+
+  /// Rate-limited detector pass (no-op until a heartbeat period elapsed).
+  void tick();
+
+  [[nodiscard]] bool any_failed() const {
+    return any_failed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool rank_failed(int rank) const;
+  /// Ranks declared failed so far, ascending.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  /// Install a callback invoked (from whichever thread's tick detected it)
+  /// once per failed rank, after the rank's gate has been evicted. Keep it
+  /// cheap and non-blocking — it runs inside a progress path.
+  void on_rank_failed(std::function<void(int)> cb);
+
+  [[nodiscard]] const FailureConfig& config() const { return config_; }
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  nmad::Session& session_;
+  const int rank_;
+  const int nranks_;
+  const FailureConfig config_;
+  const int64_t period_ns_;
+  const int64_t timeout_ns_;
+  const int64_t start_ns_;  ///< grace anchor for never-heard-from peers
+  std::atomic<int64_t> last_pass_ns_{0};
+  std::atomic<bool> any_failed_{false};
+  /// Indexed by rank; lock-free reads from rank_failed()/failed_ranks().
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  sync::SpinLock lock_;  ///< serializes passes + callback installation
+  std::function<void(int)> callback_;
+};
+
+}  // namespace piom::mpi

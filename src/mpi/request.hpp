@@ -24,6 +24,13 @@ class Request {
   /// True when the request currently carries an operation.
   [[nodiscard]] bool active() const { return active_; }
 
+  /// True when the operation error-completed because its peer was declared
+  /// failed (only meaningful once done() — reads false before completion).
+  [[nodiscard]] bool failed() const {
+    return done() && (is_send_ ? send_.core.has_failed()
+                               : recv_.core.has_failed());
+  }
+
   /// Bytes delivered by a completed receive.
   [[nodiscard]] std::size_t received() const { return recv_.received; }
 

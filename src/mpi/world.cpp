@@ -101,6 +101,17 @@ World::World(WorldConfig config) : config_(config) {
       }
     }
   }
+  if (config_.failure.enabled) {
+    detectors_.resize(static_cast<std::size_t>(n));
+    for (int rank = 0; rank < n; ++rank) {
+      detectors_[static_cast<std::size_t>(rank)] =
+          std::make_unique<FailureDetector>(
+              *sessions_[static_cast<std::size_t>(rank)], rank, n,
+              config_.failure);
+      engines_[static_cast<std::size_t>(rank)]->attach_detector(
+          detectors_[static_cast<std::size_t>(rank)].get());
+    }
+  }
   for (int rank = 0; rank < n; ++rank) {
     comms_[static_cast<std::size_t>(rank)].reset(
         new Comm(rank, engines_[static_cast<std::size_t>(rank)].get(),
@@ -136,6 +147,35 @@ Engine& World::engine(int rank) {
 nmad::Session& World::session(int rank) {
   check_rank(rank, "World::session");
   return *sessions_[static_cast<std::size_t>(rank)];
+}
+
+FailureDetector* World::detector(int rank) {
+  check_rank(rank, "World::detector");
+  if (detectors_.empty()) return nullptr;
+  return detectors_[static_cast<std::size_t>(rank)].get();
+}
+
+void World::kill_rank(int victim) {
+  check_rank(victim, "World::kill_rank");
+  if (detectors_.empty()) {
+    throw std::logic_error(
+        "World::kill_rank: needs WorldConfig::failure.enabled (without a "
+        "detector, peers of the dead rank would hang forever)");
+  }
+  // Sever both directions of every channel the victim owns: the mesh pairs
+  // each of the victim's endpoints with one survivor endpoint, so this
+  // covers the full cut. Severing (not deleting) keeps every buffer and
+  // queue alive — in-flight operations drain through the channels' severed
+  // paths instead of crashing, exactly like NIC ports going dark.
+  nmad::Session& session = *sessions_[static_cast<std::size_t>(victim)];
+  for (std::size_t g = 0; g < session.gate_count(); ++g) {
+    nmad::Gate& gate = session.gate(g);
+    for (int r = 0; r < gate.nrails(); ++r) {
+      transport::IChannel& ch = gate.rail_channel(r);
+      ch.sever();
+      if (ch.peer() != nullptr) ch.peer()->sever();
+    }
+  }
 }
 
 void Comm::check_peer(int peer, const char* who) const {
@@ -195,6 +235,37 @@ void Comm::recv(int src, Tag tag, void* buf, std::size_t cap) {
   Request req;
   irecv(req, src, tag, buf, cap);
   wait(req);
+}
+
+bool Comm::rank_failed(int rank) const {
+  const FailureDetector* fd = engine_->detector();
+  return fd != nullptr && fd->rank_failed(rank);
+}
+
+std::vector<int> Comm::failed_ranks() const {
+  const FailureDetector* fd = engine_->detector();
+  if (fd == nullptr) return {};
+  return fd->failed_ranks();
+}
+
+void Comm::on_rank_failed(std::function<void(int)> cb) {
+  FailureDetector* fd = engine_->detector();
+  if (fd != nullptr) fd->on_rank_failed(std::move(cb));
+}
+
+bool Comm::cancel(Request& req) {
+  if (!req.active() || req.is_send() || req.done()) return false;
+  nmad::RecvRequest& rr = req.recv_req();
+  if (rr.wild_gates != nullptr) {
+    // Any-source: whichever gate still holds the registration cancels it;
+    // all-false means an arrival claimed the request concurrently.
+    for (nmad::Gate* g : *rr.wild_gates) {
+      if (g != nullptr && g->cancel_recv(rr)) return true;
+    }
+    return false;
+  }
+  if (rr.gate == nullptr) return false;
+  return rr.gate->cancel_recv(rr);
 }
 
 }  // namespace piom::mpi

@@ -22,6 +22,7 @@
 #include "mpi/coll.hpp"
 #include "mpi/engine.hpp"
 #include "mpi/engine_pioman.hpp"
+#include "mpi/failure.hpp"
 #include "nmad/session.hpp"
 #include "simnet/fabric.hpp"
 #include "topo/machine.hpp"
@@ -57,6 +58,10 @@ struct WorldConfig {
   transport::BackendPolicy policy{};
   /// Intra-node channel tuning (ring depth, modelled latency).
   transport::ShmemConfig shmem{};
+  /// Heartbeat failure detection (off by default — see mpi/failure.hpp for
+  /// why caller-driven engines make it opt-in). When enabled, every rank
+  /// gets a FailureDetector ticked from its engine's progress paths.
+  FailureConfig failure{};
 };
 
 /// Rank placement derived from a machine topology: rank r lives on the
@@ -84,6 +89,18 @@ class World {
   [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] Engine& engine(int rank);
   [[nodiscard]] nmad::Session& session(int rank);
+  /// `rank`'s failure detector; null unless WorldConfig::failure.enabled.
+  [[nodiscard]] FailureDetector* detector(int rank);
+
+  /// Fault injection: sever both directions of every channel `victim`
+  /// owns, exactly as if its node lost power mid-run. Survivors' detectors
+  /// declare it failed within the detection bound; the victim's own
+  /// detector (cut off from everyone) symmetrically declares all of its
+  /// peers failed, which error-completes any call it is blocked in — that
+  /// is what lets a test thread playing the victim return and join.
+  /// Requires failure detection to be enabled (throws otherwise: without a
+  /// detector every survivor touching the victim would simply hang).
+  void kill_rank(int victim);
 
   /// Stop background machinery of every rank (idempotent; dtor calls it).
   void shutdown();
@@ -95,6 +112,7 @@ class World {
   std::unique_ptr<simnet::Fabric> fabric_;
   std::vector<std::unique_ptr<nmad::Session>> sessions_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<FailureDetector>> detectors_;
   std::vector<std::unique_ptr<Comm>> comms_;
 };
 
@@ -103,6 +121,10 @@ struct Status {
   Tag tag = 0;            ///< actual tag (useful with kAnyTag)
   int source = -1;        ///< actual source rank (useful with kAnySource)
   std::size_t bytes = 0;  ///< payload bytes delivered
+  /// The receive error-completed because its peer was declared failed
+  /// (MPI_ERR_PROC_FAILED equivalent): no payload; `source` names the
+  /// failed rank the request was parked on.
+  bool peer_failed = false;
 };
 
 /// Per-rank MPI-like interface: N ranks, reliable, tag- and source-matched.
@@ -213,6 +235,30 @@ class Comm {
   /// Complete a collective (MPI_Wait / MPI_Test on an NBC request).
   void wait(CollRequest& req) { engine_->wait_coll(req); }
   [[nodiscard]] bool test(CollRequest& req) { return engine_->test_coll(req); }
+
+  // ---- failure API (ULFM-flavoured; needs WorldConfig::failure.enabled,
+  // ---- otherwise every query reads "nothing failed") -------------------
+
+  /// True once this rank's detector has declared any peer failed.
+  [[nodiscard]] bool any_rank_failed() const {
+    return engine_->has_failures();
+  }
+  /// True once this rank's detector has declared `rank` failed.
+  [[nodiscard]] bool rank_failed(int rank) const;
+  /// Ranks this rank's detector has declared failed so far, ascending.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+  /// Install a per-failed-rank callback (see FailureDetector::on_rank_failed;
+  /// it runs inside a progress path — keep it cheap). No-op when failure
+  /// detection is disabled.
+  void on_rank_failed(std::function<void(int)> cb);
+
+  /// MPI_Cancel analog for receives: withdraw a posted, unmatched irecv
+  /// and error-complete it (done() turns true with failed() set). Returns
+  /// false — and leaves the request alone — when it already matched, is a
+  /// send (cancelling sends has never been meaningfully supported), or is
+  /// inactive. Survivors use this to abandon receives whose live partner
+  /// moved on after observing a failure this rank has also observed.
+  bool cancel(Request& req);
 
   [[nodiscard]] Engine& engine() { return *engine_; }
   /// Gate towards `peer` (throws on self / out of range).

@@ -84,6 +84,14 @@ void Gate::isend(SendRequest& req, Tag tag, const void* buf, std::size_t len,
   req.core.reset();
   req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   lock_.lock();
+  if (peer_dead_.load(std::memory_order_acquire)) {
+    // Checked under lock_: fail_peer() flips the flag before sweeping the
+    // pending FIFO, so a request enqueued after its sweep would hang.
+    lock_.unlock();
+    req.core.mark_failed();
+    req.core.complete();
+    return;
+  }
   if (pending_tail_ != nullptr) {
     pending_tail_->next = &req;
     pending_tail_ = &req;
@@ -194,12 +202,24 @@ void Gate::post_pw(PacketWrapper* pw, int rail_index) {
   pw->gate = this;
   pw->rail = rail_index;
   const bool reliable = session_.config().reliable;
+  const auto kind = static_cast<PktKind>(pw->header().kind);
+  // Acks and pings live outside the reliability layer. They must not
+  // consume a sequence number either: a consumed-but-never-tracked seq is
+  // a permanent hole the receiver's dedup floor can never slide past,
+  // which would pin every later seq in the sparse set.
+  const bool sequenced = kind != PktKind::kAck && kind != PktKind::kPing;
   lock_.lock();
-  pw->pkt_seq = next_pkt_seq_++;
+  if (sequenced) {
+    pw->pkt_seq = next_pkt_seq_++;
+  } else {
+    pw->pkt_seq = 0;
+  }
   pw->header().pkt_seq = pw->pkt_seq;
-  const bool track =
-      reliable &&
-      static_cast<PktKind>(pw->header().kind) != PktKind::kAck;
+  // Once the peer is declared dead nothing acks anymore: leave the packet
+  // untracked so its TX completion finishes the requests on the spot
+  // ("sent", never "delivered" — same meaning as the lossy-drop model).
+  const bool track = reliable && sequenced &&
+                     !peer_dead_.load(std::memory_order_acquire);
   if (track) {
     // Register BEFORE posting: the ack may arrive arbitrarily fast.
     pw->awaiting_ack = true;
@@ -258,6 +278,10 @@ void Gate::handle_ack(const PktHeader& hdr) {
 
 void Gate::check_retransmits() {
   if (!session_.config().reliable) return;
+  // A dead peer never acks: without this cut-off the RTO loop would repost
+  // the same packets forever (the lossy-link livelock). fail_peer()
+  // error-completes the senders parked behind them instead.
+  if (peer_dead_.load(std::memory_order_acquire)) return;
   const int64_t now = util::now_ns();
   const auto rto_ns = static_cast<int64_t>(session_.config().rto_us * 1e3);
   std::vector<PacketWrapper*> to_repost;
@@ -277,6 +301,107 @@ void Gate::check_retransmits() {
   }
 }
 
+// ---------------------------------------------- failure detection / eviction
+
+void Gate::send_ping() {
+  if (peer_dead_.load(std::memory_order_acquire)) return;
+  PacketWrapper* pw = pw_pool_.acquire();
+  PktHeader hdr;
+  hdr.kind = static_cast<uint8_t>(PktKind::kPing);
+  pw->begin(hdr);
+  post_pw(pw, 0);
+  lock_.lock();
+  stats_.pings_sent++;
+  lock_.unlock();
+}
+
+void Gate::fail_peer() {
+  if (peer_dead_.exchange(true, std::memory_order_acq_rel)) return;
+  // 1) Quiesce the hardware on both ends of every rail. After this no
+  //    engine touches a caller buffer again, so the owners of the requests
+  //    error-completed below may free their buffers immediately — the same
+  //    guarantee normal completion gives. (Shmem quiesce self-drives the
+  //    consumer role, so it terminates even when the peer host is gone.)
+  for (RailState& rail : rails_) {
+    rail.ch->quiesce();
+    if (rail.ch->peer() != nullptr) rail.ch->peer()->quiesce();
+  }
+  // 2) Collect everything parked on the peer under the lock; complete
+  //    outside it (completion wakes waiters that may re-enter the gate).
+  std::vector<SendRequest*> dead_sends;
+  std::vector<RecvRequest*> dead_recvs;
+  std::vector<PacketWrapper*> to_release;
+  lock_.lock();
+  for (SendRequest* s = pending_head_; s != nullptr;) {
+    SendRequest* next = s->next;
+    dead_sends.push_back(s);
+    s = next;
+  }
+  pending_head_ = pending_tail_ = nullptr;
+  pending_count_ = 0;
+  for (SendRequest* s : rdv_waiting_fin_) dead_sends.push_back(s);
+  rdv_waiting_fin_.clear();
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    PacketWrapper* pw = *it;
+    for (SendRequest* s : pw->reqs) dead_sends.push_back(s);
+    pw->reqs.clear();
+    if (pw->in_flight) {
+      // The rail still owes a TX completion (it is sitting in the CQ after
+      // the quiesce above): flag the wrapper acked so the normal completion
+      // path finalizes and recycles it — its requests are already ours.
+      pw->acked = true;
+      ++it;
+    } else {
+      it = unacked_.erase(it);
+      to_release.push_back(pw);
+    }
+  }
+  for (auto it = expected_.begin(); it != expected_.end();) {
+    RecvRequest* req = *it;
+    if (!claim_expected(*req)) {
+      it = expected_.erase(it);  // sibling gate is delivering: stale entry
+      continue;
+    }
+    dead_recvs.push_back(req);
+    it = expected_.erase(it);
+  }
+  lock_.unlock();
+  for (PacketWrapper* pw : to_release) pw_pool_.release(pw);
+  for (SendRequest* req : dead_sends) {
+    req->core.mark_failed();
+    req->core.complete();
+  }
+  for (RecvRequest* req : dead_recvs) {
+    if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
+    req->source = peer_rank_;
+    req->core.mark_failed();
+    req->core.complete();
+  }
+}
+
+bool Gate::cancel_recv(RecvRequest& req) {
+  lock_.lock();
+  auto it = std::find(expected_.begin(), expected_.end(), &req);
+  if (it == expected_.end()) {
+    // Matched already (delivery may still be in flight — the caller keeps
+    // polling completion) or registered on another gate.
+    lock_.unlock();
+    return false;
+  }
+  if (!claim_expected(req)) {
+    expected_.erase(it);  // sibling gate won the wildcard: stale entry
+    lock_.unlock();
+    return false;
+  }
+  expected_.erase(it);
+  lock_.unlock();
+  if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
+  req.source = peer_rank_;
+  req.core.mark_failed();
+  req.core.complete();
+  return true;
+}
+
 // ---------------------------------------------------------------- recv path
 
 void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
@@ -292,6 +417,16 @@ void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
   req.core.reset();
 
   lock_.lock();
+  if (peer_dead_.load(std::memory_order_acquire)) {
+    // Checked under lock_ (see isend): never enqueue behind the sweep.
+    // ULFM-style: a receive from a failed rank fails even if matching
+    // unexpected data is still staged — the failure is permanent.
+    lock_.unlock();
+    req.source = peer_rank_;
+    req.core.mark_failed();
+    req.core.complete();
+    return;
+  }
   switch (match_unexpected(req)) {
     case MatchResult::kDelivered:
       return;  // lock released by match_unexpected
@@ -313,6 +448,21 @@ bool Gate::post_wild(RecvRequest& req) {
     // An arrival at a gate registered earlier already claimed the request
     // (delivery may still be in flight) — stop registering.
     lock_.unlock();
+    return true;
+  }
+  if (peer_dead_.load(std::memory_order_acquire)) {
+    // Any-source semantics under failure (ULFM): one dead candidate fails
+    // the whole wildcard, because "no matching sender exists anymore"
+    // cannot be distinguished from "the dead one was the sender".
+    if (!claim_expected(req)) {
+      lock_.unlock();
+      return true;
+    }
+    lock_.unlock();
+    purge_wild_siblings(req, this);
+    req.source = peer_rank_;
+    req.core.mark_failed();
+    req.core.complete();
     return true;
   }
   switch (match_unexpected(req)) {
@@ -462,11 +612,16 @@ int Gate::poll_rail(int rail_index) {
 void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
   (void)rail_index;
   assert(len >= sizeof(PktHeader));
+  // Liveness: every arrival proves the peer's host was alive to send it —
+  // acks and pings included. The failure detector compares this stamp
+  // against its timeout.
+  last_heard_ns_.store(util::now_ns(), std::memory_order_release);
   PktHeader hdr;
   std::memcpy(&hdr, data, sizeof(hdr));
   const uint8_t* body = data + sizeof(PktHeader);
-  if (session_.config().reliable &&
-      static_cast<PktKind>(hdr.kind) != PktKind::kAck) {
+  const auto kind = static_cast<PktKind>(hdr.kind);
+  if (session_.config().reliable && kind != PktKind::kAck &&
+      kind != PktKind::kPing) {
     lock_.lock();
     const bool fresh = dedup_mark(hdr.pkt_seq);
     if (!fresh) stats_.duplicates_dropped++;
@@ -475,7 +630,7 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
     send_ack(hdr.pkt_seq);
     if (!fresh) return;
   }
-  switch (static_cast<PktKind>(hdr.kind)) {
+  switch (kind) {
     case PktKind::kEager:
       handle_eager(hdr, body);
       break;
@@ -490,6 +645,12 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
       break;
     case PktKind::kAck:
       handle_ack(hdr);
+      break;
+    case PktKind::kPing:
+      // Heartbeat: its entire payload is the last_heard_ns_ stamp above.
+      lock_.lock();
+      stats_.pings_recv++;
+      lock_.unlock();
       break;
     default: {
       PIOM_LOG_ERROR(
@@ -619,6 +780,7 @@ void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {
   req.pull.req = &req;
   req.pull.tag = rts.tag;
   req.pull.seq = rts.seq;
+  req.pull.chunks_failed.store(0, std::memory_order_relaxed);
   req.pull.chunks_remaining.store(static_cast<int>(chunks.size()),
                                   std::memory_order_release);
   auto* base = reinterpret_cast<const uint8_t*>(rts.raddr);
@@ -669,8 +831,18 @@ void Gate::handle_tx_completion(const transport::Completion& c) {
     }
     case transport::Completion::Kind::kRdmaRead: {
       auto* pull = reinterpret_cast<RdvPull*>(c.wrid);
+      if (c.failed) {
+        pull->chunks_failed.fetch_add(1, std::memory_order_acq_rel);
+      }
       if (pull->chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        finish_pull(*pull);
+        if (pull->chunks_failed.load(std::memory_order_acquire) > 0) {
+          // The pull crossed a severed link: the data never landed and the
+          // sender cannot use a FIN anyway — error-complete the receive.
+          pull->req->core.mark_failed();
+          pull->req->core.complete();
+        } else {
+          finish_pull(*pull);
+        }
       }
       break;
     }

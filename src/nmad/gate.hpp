@@ -43,6 +43,9 @@ struct GateStats {
   uint64_t acks_sent = 0;
   uint64_t retransmits = 0;
   uint64_t duplicates_dropped = 0;
+  // Failure detector (mpi::FailureDetector drives these):
+  uint64_t pings_sent = 0;
+  uint64_t pings_recv = 0;
 };
 
 class Gate {
@@ -97,8 +100,43 @@ class Gate {
   /// Reliability layer: repost unacknowledged packets older than the RTO.
   /// No-op unless SessionConfig::reliable. Called by progress(); background
   /// progression engines whose polling bypasses progress() (per-rail tasks)
-  /// must call it periodically themselves.
+  /// must call it periodically themselves. Stops reposting once the peer
+  /// is declared dead — fail_peer() error-completes the stuck senders
+  /// instead, which is what breaks the lossy-link retransmit livelock.
   void check_retransmits();
+
+  // ---- failure detection / error completion ----
+
+  /// Send one heartbeat packet on rail 0 (no-op once the peer is dead).
+  /// Pings live outside the reliability layer: never acked, retransmitted
+  /// or dedup-tracked.
+  void send_ping();
+
+  /// Monotonic timestamp (util::now_ns) of the last wire arrival from the
+  /// peer — any packet counts, including acks and pings. 0 = never heard.
+  [[nodiscard]] int64_t last_heard_ns() const {
+    return last_heard_ns_.load(std::memory_order_acquire);
+  }
+
+  /// Declare the peer failed and error-complete everything stuck on it:
+  /// pending and unacknowledged sends, rendezvous sends parked for FIN,
+  /// and every queued receive (wildcards are claimed, so an any-source
+  /// request fails on the first dead gate — ULFM-style semantics). All are
+  /// completed with RequestCore::failed set. Also quiesces both endpoints
+  /// of every rail first, so owners of error-completed requests may free
+  /// their buffers immediately. Subsequent isend/irecv on this gate fail
+  /// at once. Idempotent, thread-safe; called by the failure detector and
+  /// usable directly by tests.
+  void fail_peer();
+  [[nodiscard]] bool peer_dead() const {
+    return peer_dead_.load(std::memory_order_acquire);
+  }
+
+  /// Withdraw a queued receive and error-complete it (MPI_Cancel-style,
+  /// used to release collective round receives whose sender died). False
+  /// when the request is not queued here — it matched already (completion
+  /// may still be in flight) or lives on another gate.
+  bool cancel_recv(RecvRequest& req);
 
   [[nodiscard]] int peer_rank() const { return peer_rank_; }
   [[nodiscard]] int nrails() const { return static_cast<int>(rails_.size()); }
@@ -210,6 +248,12 @@ class Gate {
   std::deque<PacketWrapper*> unacked_;
   uint64_t dedup_floor_ = 0;                 ///< all pkt_seq <= floor seen
   std::unordered_set<uint64_t> dedup_sparse_;///< seen above the floor
+
+  // Failure detection state. Lock-free: last_heard_ns_ is stamped on the
+  // poll path (must not contend with lock_), peer_dead_ gates the fast
+  // paths with a single acquire load.
+  std::atomic<int64_t> last_heard_ns_{0};
+  std::atomic<bool> peer_dead_{false};
 
   GateStats stats_;  // protected by lock_
 };

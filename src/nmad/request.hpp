@@ -22,6 +22,11 @@ struct RecvRequest;
 /// Completion flag + wakeup shared by both request kinds.
 struct RequestCore {
   std::atomic<bool> done{false};
+  /// Error-completion outcome: set (before complete()) when the operation
+  /// terminated because the peer was declared failed instead of finishing
+  /// normally. The done-acquire in completed() synchronizes it, so owners
+  /// read it lock-free after observing done.
+  std::atomic<bool> failed{false};
   sync::Semaphore sem{0};
 
   void complete() {
@@ -36,6 +41,14 @@ struct RequestCore {
   }
   [[nodiscard]] bool completed() const {
     return done.load(std::memory_order_acquire);
+  }
+  /// Mark the operation as error-terminated. Must be called BEFORE
+  /// complete() (failure completers do mark_failed(); complete();) so the
+  /// flag is published by the time the owner observes done.
+  void mark_failed() { failed.store(true, std::memory_order_release); }
+  /// Meaningful once completed() is true.
+  [[nodiscard]] bool has_failed() const {
+    return failed.load(std::memory_order_acquire);
   }
   /// Block until complete() has *fully finished* — consuming the post
   /// alone is not enough to reclaim storage, since the trailing `done`
@@ -53,6 +66,7 @@ struct RequestCore {
   }
   void reset() {
     done.store(false, std::memory_order_relaxed);
+    failed.store(false, std::memory_order_relaxed);
     while (sem.try_wait()) {
     }
   }
@@ -80,6 +94,10 @@ struct SendRequest {
 /// completes (and FIN is sent) when every chunk has landed.
 struct RdvPull {
   std::atomic<int> chunks_remaining{0};
+  /// Chunks whose RDMA read came back failed (severed rail). The single
+  /// last-chunk completer reads this to decide between FIN and error
+  /// completion — no extra arbitration needed.
+  std::atomic<int> chunks_failed{0};
   RecvRequest* req = nullptr;
   Tag tag = 0;
   uint64_t seq = 0;

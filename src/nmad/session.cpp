@@ -11,6 +11,7 @@ const char* pkt_kind_name(PktKind k) {
     case PktKind::kRts: return "rts";
     case PktKind::kFin: return "fin";
     case PktKind::kAck: return "ack";
+    case PktKind::kPing: return "ping";
   }
   return "?";
 }

@@ -47,6 +47,12 @@ enum class PktKind : uint8_t {
   /// themselves unacknowledged (a lost ack is repaired by the sender's
   /// retransmission and the receiver's dedup).
   kAck = 5,
+  /// Failure-detector heartbeat. Pings carry no payload and, like acks,
+  /// live outside the reliability layer: they are neither acknowledged,
+  /// retransmitted, nor dedup-tracked (pkt_seq stays 0) — a lost ping is
+  /// repaired by the next period's ping. Their only effect on the receiver
+  /// is refreshing the gate's liveness timestamp.
+  kPing = 6,
 };
 
 [[nodiscard]] const char* pkt_kind_name(PktKind k);

@@ -21,6 +21,11 @@ struct LinkModel {
   /// fabric). RDMA reads are never dropped (they are NIC-engine served).
   /// Use nmad's reliable mode (SessionConfig::reliable) on lossy links.
   double drop_rate = 0.0;
+  /// Fault injection: sever this NIC's TX direction after it has executed
+  /// exactly this many sends (0 = never). Deterministic by construction —
+  /// same traffic, same death point — modelling a link that dies mid-run
+  /// without any external controller (see IChannel::sever for semantics).
+  uint64_t sever_after_packets = 0;
 
   /// Time the link is busy serialising `bytes` (ns), excluding latency.
   [[nodiscard]] int64_t occupancy_ns(std::size_t bytes) const;

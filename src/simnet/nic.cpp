@@ -131,6 +131,14 @@ void Nic::quiesce() {
 }
 
 void Nic::deliver(const void* data, std::size_t len) {
+  if (severed()) {
+    // A dead endpoint hears nothing: the arrival evaporates on our side of
+    // the wire (the sender already paid the transfer and got its TX
+    // completion — exactly the drop model's asymmetry).
+    std::lock_guard<std::mutex> slk(stats_mutex_);
+    stats_.packets_dropped++;
+    return;
+  }
   PIOM_TRACE(util::trace::Kind::kPacketRx, 0, len);
   std::lock_guard<std::mutex> lk(rx_mutex_);
   {
@@ -207,12 +215,17 @@ void Nic::engine_loop() {
         wait_scaled_ns(link_.transfer_ns(op.len));
         assert(peer_ != nullptr);
         const bool dropped =
-            link_.drop_rate > 0.0 && drop_draw() < link_.drop_rate;
+            severed() ||
+            (link_.drop_rate > 0.0 && drop_draw() < link_.drop_rate);
         if (dropped) {
           std::lock_guard<std::mutex> slk(stats_mutex_);
           stats_.packets_dropped++;
         } else {
           peer_->deliver(op.src, op.len);
+        }
+        if (link_.sever_after_packets > 0 &&
+            ++sends_executed_ >= link_.sever_after_packets) {
+          sever();  // deterministic mid-run link death (fault injection)
         }
         {
           std::lock_guard<std::mutex> slk(stats_mutex_);
@@ -233,19 +246,23 @@ void Nic::engine_loop() {
                                (link_.latency_us + link_.packet_overhead_us) *
                                1e3) +
                        link_.occupancy_ns(op.len));
-        std::memcpy(op.dst, op.src, op.len);
-        {
+        // A read over a severed link (either end) fails without touching
+        // either host's memory — the failed completion is the caller's
+        // only signal, since no peer host code runs on this path.
+        const bool read_failed = severed() || peer_->severed();
+        if (!read_failed) {
+          std::memcpy(op.dst, op.src, op.len);
           std::lock_guard<std::mutex> slk(peer_->stats_mutex_);
           peer_->stats_.rdma_reads_served++;
         }
         {
           std::lock_guard<std::mutex> slk(stats_mutex_);
           stats_.packets_tx++;  // the read request
-          stats_.bytes_rx += op.len;
+          if (!read_failed) stats_.bytes_rx += op.len;
         }
         std::lock_guard<std::mutex> lk(tx_mutex_);
-        tx_cq_.push_back(
-            Completion{Completion::Kind::kRdmaRead, op.wrid, op.len});
+        tx_cq_.push_back(Completion{Completion::Kind::kRdmaRead, op.wrid,
+                                    op.len, read_failed});
         tx_cq_size_.fetch_add(1, std::memory_order_release);
         engine_busy_ = false;
         break;

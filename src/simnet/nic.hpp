@@ -82,6 +82,15 @@ class Nic final : public transport::IChannel {
   /// this NIC *and its peer*, no engine will touch host buffers again.
   void quiesce() override;
 
+  /// Cut this endpoint off the wire (see IChannel::sever): queued and
+  /// future sends are counted as dropped after the modelled wire delay
+  /// (still TX-completing, like the drop model), inbound deliveries are
+  /// discarded, RDMA reads complete failed without touching memory.
+  void sever() override { severed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool severed() const override {
+    return severed_.load(std::memory_order_acquire);
+  }
+
   /// Link bandwidth, the strategy layer's stripe weight.
   [[nodiscard]] double bandwidth_GBps() const override {
     return link_.bandwidth_GBps;
@@ -151,7 +160,9 @@ class Nic final : public transport::IChannel {
   mutable std::mutex stats_mutex_;
   NicStats stats_;
   uint64_t rng_state_ = 0;  // engine-thread only
+  uint64_t sends_executed_ = 0;  // engine-thread only (sever_after_packets)
 
+  std::atomic<bool> severed_{false};
   std::atomic<bool> running_{false};
   std::thread engine_;
 };

@@ -35,6 +35,11 @@ struct Completion {
   Kind kind = Kind::kSend;
   uint64_t wrid = 0;      ///< work-request id supplied at post time
   std::size_t bytes = 0;  ///< payload size actually transferred
+  /// True when the operation executed against a severed channel. Only
+  /// RDMA reads report failure (their semantics are "data landed");
+  /// severed sends still complete unfailed, mirroring the drop model —
+  /// "sent" never means "delivered".
+  bool failed = false;
 };
 
 /// Per-channel traffic counters (Fig-1 aggregation bench, saturation
@@ -90,6 +95,16 @@ class IChannel {
   /// endpoint *and its peer*, the backend will not touch host buffers
   /// again (completions may still sit in the queues, ready to poll).
   virtual void quiesce() = 0;
+
+  /// Fault hook: cut this endpoint off the wire. Subsequent (and queued)
+  /// sends stop being delivered — they still drain with ordinary TX
+  /// completions, like the drop model — inbound traffic towards this
+  /// endpoint is discarded, and RDMA reads complete with failed = true.
+  /// Irreversible, idempotent, thread-safe. Severing one endpoint models a
+  /// one-direction link death; killing a host severs both ends of every
+  /// channel touching it (World::kill_rank).
+  virtual void sever() = 0;
+  [[nodiscard]] virtual bool severed() const = 0;
 
   // ---- rail properties consumed by the strategy layer ----
 

@@ -139,6 +139,20 @@ void ShmemChannel::post_send(const void* buf, std::size_t len,
   if (peer_ == nullptr) {
     throw std::logic_error("ShmemChannel::post_send: unconnected");
   }
+  if (severed()) {
+    // Dead endpoint: the send completes without ever being published —
+    // unfailed, like the NIC drop model ("sent" never means "delivered").
+    // Completing directly also keeps this path peer-independent: nothing
+    // is enqueued that would need the (possibly gone) peer to consume it.
+    tx_lock_.lock();
+    tx_cq_.push_back(Completion{Completion::Kind::kSend, wrid, len});
+    tx_cq_size_.fetch_add(1, std::memory_order_release);
+    tx_lock_.unlock();
+    stats_lock_.lock();
+    stats_.packets_dropped++;
+    stats_lock_.unlock();
+    return;
+  }
   tx_lock_.lock();
   Msg* m = acquire_msg();
   m->src = buf;
@@ -182,17 +196,23 @@ void ShmemChannel::post_rdma_read(void* local, const void* remote,
     throw std::logic_error("ShmemChannel::post_rdma_read: unconnected");
   }
   // Intra-node "RDMA" is a plain load/store pass on the calling core: no
-  // engine round-trip, no modelled wire time.
-  if (len > 0) std::memcpy(local, remote, len);
-  peer_->stats_lock_.lock();
-  peer_->stats_.rdma_reads_served++;
-  peer_->stats_lock_.unlock();
+  // engine round-trip, no modelled wire time. On a severed channel (either
+  // end) the read must not touch the peer's memory — the failed completion
+  // is the caller's only signal.
+  const bool read_failed = severed() || peer_->severed();
+  if (!read_failed) {
+    if (len > 0) std::memcpy(local, remote, len);
+    peer_->stats_lock_.lock();
+    peer_->stats_.rdma_reads_served++;
+    peer_->stats_lock_.unlock();
+  }
   stats_lock_.lock();
   stats_.packets_tx++;  // the read request
-  stats_.bytes_rx += len;
+  if (!read_failed) stats_.bytes_rx += len;
   stats_lock_.unlock();
   tx_lock_.lock();
-  tx_cq_.push_back(Completion{Completion::Kind::kRdmaRead, wrid, len});
+  tx_cq_.push_back(
+      Completion{Completion::Kind::kRdmaRead, wrid, len, read_failed});
   tx_cq_size_.fetch_add(1, std::memory_order_release);
   tx_lock_.unlock();
 }
@@ -232,6 +252,15 @@ void ShmemChannel::drain_rx() {
     Msg* m = inbound_.try_pop();
     if (m == nullptr) break;
     const std::size_t len = m->len;
+    if (severed()) {
+      // Dead endpoint: consume the descriptor (so the producer's pipeline
+      // keeps draining and its quiesce terminates) but deliver nothing.
+      m->done.store(1, std::memory_order_release);
+      stats_lock_.lock();
+      stats_.packets_dropped++;
+      stats_lock_.unlock();
+      continue;
+    }
     if (!rx_descs_.empty()) {
       // Zero-copy fast path: payload goes straight from the sender's
       // buffer into the posted receive buffer.

@@ -62,6 +62,17 @@ class ShmemChannel final : public IChannel {
   [[nodiscard]] std::size_t tx_backlog() const override;
   void quiesce() override;
 
+  /// Peer-dead signal for the intra-node path (see IChannel::sever).
+  /// Shared memory never drops bytes, so without this hook a dead peer is
+  /// indistinguishable from a slow one: severed, this endpoint completes
+  /// sends without publishing them, consumes inbound descriptors without
+  /// delivering, and fails RDMA reads — all without ever blocking on the
+  /// (possibly gone) peer host.
+  void sever() override { severed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool severed() const override {
+    return severed_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] double bandwidth_GBps() const override { return bandwidth_; }
   [[nodiscard]] double latency_us() const override {
     return config_.latency_us;
@@ -149,6 +160,8 @@ class ShmemChannel final : public IChannel {
 
   mutable sync::SpinLock stats_lock_;
   ChannelStats stats_;
+
+  std::atomic<bool> severed_{false};
 };
 
 /// Factory + owner of shmem channel pairs (one "node's memory bus").
