@@ -34,6 +34,7 @@ void CollOp::start(Comm& comm, Algo algo, uint32_t epoch) {
   reqs_.clear();
   active_ = true;
   failing_ = false;
+  revoked_ = false;
   core_.reset();
 }
 
@@ -138,12 +139,27 @@ bool CollOp::advance() {
 }
 
 bool CollOp::advance_failing() {
-  // Error-completion drain. Receives parked on *live* peers must be
-  // cancelled: the sender is a survivor that also observed the failure and
-  // will never run this round — waiting on it would trade a hang on the
-  // dead rank for a hang on a live one. (Receives on the dead gate were
-  // already error-completed by its eviction; sends always TX-complete,
-  // severed channels included.)
+  // Error-completion drain, two halves:
+  //
+  // Outbound (once): revoke this epoch's whole tag window on every live
+  // gate. A peer that also entered its drain cancels its round receives —
+  // or never posts them at all if it was a round behind — so our
+  // *rendezvous* sends to it would park for a FIN that cannot come. The
+  // revocation makes that peer NACK our RTS (staged or still in flight)
+  // and the send error-completes. The sender cannot withdraw such a send
+  // unilaterally: a matched RTS may have an RDMA pull in flight against
+  // its buffer. Eager sends need none of this — they complete on ack/TX,
+  // severed channels included.
+  //
+  // Inbound (every sweep): receives parked on *live* peers must be
+  // cancelled — the sender is a survivor that also observed the failure
+  // and will never run this round; waiting on it would trade a hang on
+  // the dead rank for a hang on a live one. (Receives on the dead gate
+  // were already error-completed by its eviction.)
+  if (!revoked_) {
+    revoked_ = true;
+    comm_->revoke_coll_epoch(epoch_);
+  }
   bool all_done = true;
   for (Request& r : reqs_) {
     if (r.done()) continue;

@@ -71,6 +71,17 @@ inline constexpr uint32_t kCollPhaseMask = 0xfffu;
          (static_cast<uint32_t>(kind) << 12) | (phase & kCollPhaseMask);
 }
 
+/// Revocation window of one collective epoch — marker + epoch bits, kind
+/// and phase left free, so (tag & mask) == window matches every round tag
+/// the epoch can ever produce. A failing CollOp revokes this window on all
+/// live gates (Gate::revoke_tags) so peers' rendezvous rounds aimed at a
+/// rank that will never post the matching receives are NACKed instead of
+/// parking forever.
+inline constexpr Tag kCollEpochWindowMask = 0xffff0000u;
+[[nodiscard]] constexpr Tag coll_epoch_window(uint32_t epoch) {
+  return nmad::kReservedTagBase | ((epoch & kCollEpochMask) << 16);
+}
+
 namespace coll_detail {
 /// Element-wise reduction, instantiated per arithmetic type and reached
 /// through a function pointer so CollOp stays type-erased.
@@ -202,6 +213,7 @@ class CollOp {
 
   bool active_ = false;
   bool failing_ = false;  ///< a rank died: draining towards error completion
+  bool revoked_ = false;  ///< failure drain announced (epoch revoked)
   nmad::RequestCore core_;
 };
 

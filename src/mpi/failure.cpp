@@ -37,6 +37,7 @@ void FailureDetector::tick() {
     return;
   }
   last_pass_ns_.store(now, std::memory_order_release);
+  std::vector<int> newly_dead;
   for (std::size_t g = 0; g < session_.gate_count(); ++g) {
     nmad::Gate& gate = session_.gate(g);
     const int peer = gate.peer_rank();
@@ -53,12 +54,35 @@ void FailureDetector::tick() {
                                                   std::memory_order_release);
       any_failed_.store(true, std::memory_order_release);
       gate.fail_peer();  // evict: error-complete everything parked on it
-      if (callback_) callback_(peer);
+      newly_dead.push_back(peer);
     } else {
       gate.send_ping();
     }
   }
+  const bool first_verdict = !newly_dead.empty() && !revoked_all_;
+  if (first_verdict) revoked_all_ = true;
+  // Snapshot the callback, invoke it after unlock: the detector's SpinLock
+  // is not reentrant, and the callback is user code that may well call back
+  // into the detector (rank_failed, on_rank_failed, ...).
+  std::function<void(int)> cb;
+  if (!newly_dead.empty()) cb = callback_;
   lock_.unlock();
+  if (first_verdict) {
+    // Every in-flight and future collective on this rank is poisoned now
+    // (ULFM semantics: CollOp::advance fails fast on has_failures, so no
+    // reserved-space receive will ever be posted again). Revoke the whole
+    // reserved tag space towards the *live* peers, so their collective
+    // rendezvous sends aimed at this rank are NACKed instead of parking
+    // forever for a FIN — even for epochs whose CollOp this rank never
+    // creates because the application stopped calling collectives.
+    for (std::size_t g = 0; g < session_.gate_count(); ++g) {
+      session_.gate(g).revoke_tags(/*mask=*/nmad::kReservedTagBase,
+                                   /*value=*/nmad::kReservedTagBase);
+    }
+  }
+  if (cb) {
+    for (int peer : newly_dead) cb(peer);
+  }
 }
 
 bool FailureDetector::rank_failed(int rank) const {

@@ -66,8 +66,12 @@ class FailureDetector {
   [[nodiscard]] std::vector<int> failed_ranks() const;
 
   /// Install a callback invoked (from whichever thread's tick detected it)
-  /// once per failed rank, after the rank's gate has been evicted. Keep it
-  /// cheap and non-blocking — it runs inside a progress path.
+  /// once per failed rank, after the rank's gate has been evicted. It runs
+  /// inside a progress path but *outside* the detector's lock, so calling
+  /// back into the detector (rank_failed, even on_rank_failed) is safe.
+  /// Keep it cheap and non-blocking all the same. Callbacks for ranks
+  /// detected in different passes may run concurrently (each rank is still
+  /// reported exactly once).
   void on_rank_failed(std::function<void(int)> cb);
 
   [[nodiscard]] const FailureConfig& config() const { return config_; }
@@ -87,6 +91,9 @@ class FailureDetector {
   std::unique_ptr<std::atomic<bool>[]> dead_;
   sync::SpinLock lock_;  ///< serializes passes + callback installation
   std::function<void(int)> callback_;
+  /// First-verdict latch: the whole reserved (collective) tag space has
+  /// been revoked on the live gates. Guarded by lock_.
+  bool revoked_all_ = false;
 };
 
 }  // namespace piom::mpi

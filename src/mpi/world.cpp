@@ -225,6 +225,13 @@ void Comm::irecv_reserved(Request& req, int src, Tag tag, void* buf,
   engine_->irecv(req, *gates_[static_cast<std::size_t>(src)], tag, buf, cap);
 }
 
+void Comm::revoke_coll_epoch(uint32_t epoch) {
+  for (nmad::Gate* g : gates_) {
+    if (g == nullptr) continue;
+    g->revoke_tags(kCollEpochWindowMask, coll_epoch_window(epoch));
+  }
+}
+
 void Comm::send(int dst, Tag tag, const void* buf, std::size_t len) {
   Request req;
   isend(req, dst, tag, buf, len);

@@ -283,6 +283,13 @@ class Comm {
   void irecv_reserved(Request& req, int src, Tag tag, void* buf,
                       std::size_t cap);
 
+  /// Failure drain: revoke a dying collective's whole tag epoch on every
+  /// live gate (Gate::revoke_tags), so peers' rendezvous rounds targeting
+  /// this rank — staged, in flight, or not yet sent — are NACKed and
+  /// error-complete instead of parking forever for a FIN. Called once per
+  /// failing CollOp, before it cancels its own round receives.
+  void revoke_coll_epoch(uint32_t epoch);
+
   /// Type-erased iallreduce (the template above instantiates the combine).
   void iallreduce_raw(CollRequest& req, void* data, std::size_t count,
                       std::size_t elem_size, coll_detail::CombineFn combine,

@@ -365,6 +365,11 @@ void Gate::fail_peer() {
     dead_recvs.push_back(req);
     it = expected_.erase(it);
   }
+  // Staged unexpected arrivals are unreachable once the peer is evicted
+  // (every later irecv on this gate fails fast, so nothing can ever match
+  // them) — drop them now instead of pinning memory until destruction.
+  unex_eager_.clear();
+  unex_rts_.clear();
   lock_.unlock();
   for (PacketWrapper* pw : to_release) pw_pool_.release(pw);
   for (SendRequest* req : dead_sends) {
@@ -400,6 +405,57 @@ bool Gate::cancel_recv(RecvRequest& req) {
   req.core.mark_failed();
   req.core.complete();
   return true;
+}
+
+bool Gate::tag_revoked(Tag tag) const {
+  for (const auto& [mask, value] : revoked_) {
+    if ((tag & mask) == value) return true;
+  }
+  return false;
+}
+
+void Gate::revoke_tags(Tag mask, Tag value) {
+  // Dead gate: fail_peer already error-completed the peer's senders and
+  // dropped the staged arrivals, and a NACK towards a quiesced rail would
+  // go nowhere anyway.
+  if (peer_dead_.load(std::memory_order_acquire)) return;
+  std::vector<UnexRts> to_nack;
+  lock_.lock();
+  const auto window = std::make_pair(mask, value);
+  if (std::find(revoked_.begin(), revoked_.end(), window) == revoked_.end()) {
+    revoked_.push_back(window);
+  }
+  for (auto it = unex_rts_.begin(); it != unex_rts_.end();) {
+    if ((it->tag & mask) == value) {
+      to_nack.push_back(*it);
+      it = unex_rts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = unex_eager_.begin(); it != unex_eager_.end();) {
+    if ((it->tag & mask) == value) {
+      it = unex_eager_.erase(it);  // eager sends completed on ack/TX: drop
+    } else {
+      ++it;
+    }
+  }
+  stats_.rts_nacked += to_nack.size();
+  lock_.unlock();
+  for (const UnexRts& rts : to_nack) send_nack(rts.tag, rts.seq);
+}
+
+void Gate::send_nack(Tag tag, uint64_t seq) {
+  PacketWrapper* pw = pw_pool_.acquire();
+  PktHeader hdr;
+  hdr.kind = static_cast<uint8_t>(PktKind::kNack);
+  hdr.tag = tag;
+  hdr.seq = seq;
+  pw->begin(hdr);
+  // Control traffic on rail 0, like RTS/FIN. post_pw runs it through the
+  // reliability layer (sequenced + retransmitted), so on a lossy link the
+  // refusal cannot itself be lost.
+  post_pw(pw, 0);
 }
 
 // ---------------------------------------------------------------- recv path
@@ -643,6 +699,9 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
     case PktKind::kFin:
       handle_fin(hdr);
       break;
+    case PktKind::kNack:
+      handle_nack(hdr);
+      break;
     case PktKind::kAck:
       handle_ack(hdr);
       break;
@@ -730,6 +789,18 @@ void Gate::handle_rts(const PktHeader& hdr) {
   rts.len = hdr.len;
   rts.raddr = hdr.raddr;
   lock_.lock();
+  if (tag_revoked(hdr.tag)) {
+    // No receive will ever be posted for this window (the collective it
+    // belongs to is draining towards error completion): refuse the
+    // rendezvous so the sender error-completes instead of parking for a
+    // FIN that cannot come. Checked before the expected scan on purpose —
+    // a still-queued receive in a revoked window is itself about to be
+    // cancelled, and matching it would race the cancel with a pull.
+    stats_.rts_nacked++;
+    lock_.unlock();
+    send_nack(hdr.tag, hdr.seq);
+    return;
+  }
   for (auto it = expected_.begin(); it != expected_.end();) {
     RecvRequest* req = *it;
     if (!recv_tag_matches(*req, hdr.tag)) {
@@ -766,6 +837,28 @@ void Gate::handle_fin(const PktHeader& hdr) {
   lock_.unlock();
   PIOM_LOG_WARN("gate: FIN for unknown rendezvous (tag=%u seq=%llu)", hdr.tag,
                 static_cast<unsigned long long>(hdr.seq));
+}
+
+void Gate::handle_nack(const PktHeader& hdr) {
+  // The peer refused the rendezvous: it will never post a matching receive
+  // (revoked window), so the parked send can only error-complete. Mirrors
+  // handle_fin with the failure flag set.
+  lock_.lock();
+  for (auto it = rdv_waiting_fin_.begin(); it != rdv_waiting_fin_.end(); ++it) {
+    if ((*it)->tag == hdr.tag && (*it)->seq == hdr.seq) {
+      SendRequest* req = *it;
+      rdv_waiting_fin_.erase(it);
+      stats_.sends_nacked++;
+      lock_.unlock();
+      req->core.mark_failed();
+      req->core.complete();
+      return;
+    }
+  }
+  lock_.unlock();
+  // Benign race: fail_peer() may have error-completed the send already
+  // (both verdicts agree on the outcome), so unlike FIN this is not worth
+  // a warning.
 }
 
 void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {

@@ -46,6 +46,10 @@ struct GateStats {
   // Failure detector (mpi::FailureDetector drives these):
   uint64_t pings_sent = 0;
   uint64_t pings_recv = 0;
+  // Failure drain (revoke_tags): RTS arrivals refused with a kNack, and
+  // local rendezvous sends error-completed by a peer's kNack.
+  uint64_t rts_nacked = 0;
+  uint64_t sends_nacked = 0;
 };
 
 class Gate {
@@ -124,9 +128,11 @@ class Gate {
   /// request fails on the first dead gate — ULFM-style semantics). All are
   /// completed with RequestCore::failed set. Also quiesces both endpoints
   /// of every rail first, so owners of error-completed requests may free
-  /// their buffers immediately. Subsequent isend/irecv on this gate fail
-  /// at once. Idempotent, thread-safe; called by the failure detector and
-  /// usable directly by tests.
+  /// their buffers immediately, and drops the staged unexpected arrivals
+  /// (eager + RTS): nothing may ever match a dead peer's data, so keeping
+  /// it would only pin memory until gate destruction. Subsequent
+  /// isend/irecv on this gate fail at once. Idempotent, thread-safe;
+  /// called by the failure detector and usable directly by tests.
   void fail_peer();
   [[nodiscard]] bool peer_dead() const {
     return peer_dead_.load(std::memory_order_acquire);
@@ -137,6 +143,20 @@ class Gate {
   /// when the request is not queued here — it matched already (completion
   /// may still be in flight) or lives on another gate.
   bool cancel_recv(RecvRequest& req);
+
+  /// Revoke a tag window: declare that no receive will ever be posted for
+  /// tags with (tag & mask) == value. Staged unexpected RTS entries in the
+  /// window are NACKed immediately and later-arriving ones are NACKed on
+  /// arrival, so a peer's rendezvous send parked for FIN error-completes
+  /// instead of hanging (the receiver must drive this — the sender cannot
+  /// withdraw unilaterally, because a matched RTS may have an RDMA pull in
+  /// flight against its buffer). Unexpected *eager* data in the window is
+  /// dropped: its sends completed on ack/TX and nothing may match it
+  /// later. Used by the collectives' failure drain, which revokes a dying
+  /// collective's whole tag epoch on every live gate. Revocations are
+  /// permanent for the gate's lifetime (epochs are not reused). No-op on a
+  /// dead gate. Thread-safe.
+  void revoke_tags(Tag mask, Tag value);
 
   [[nodiscard]] int peer_rank() const { return peer_rank_; }
   [[nodiscard]] int nrails() const { return static_cast<int>(rails_.size()); }
@@ -184,6 +204,7 @@ class Gate {
   void handle_pack(const PktHeader& hdr, const uint8_t* body, std::size_t len);
   void handle_rts(const PktHeader& hdr);
   void handle_fin(const PktHeader& hdr);
+  void handle_nack(const PktHeader& hdr);
   void handle_ack(const PktHeader& hdr);
   void handle_tx_completion(const transport::Completion& c);
 
@@ -192,6 +213,10 @@ class Gate {
   bool dedup_mark(uint64_t pkt_seq);  // requires lock_
   /// Send a kAck for `pkt_seq` on rail 0.
   void send_ack(uint64_t pkt_seq);
+  /// Send a kNack refusing the rendezvous (tag, seq) on rail 0.
+  void send_nack(Tag tag, uint64_t seq);
+  /// True when `tag` falls in a revoked window. Requires lock_.
+  [[nodiscard]] bool tag_revoked(Tag tag) const;
   /// Complete + release an acknowledged, landed packet. Call WITHOUT lock_.
   void finalize_reliable_pw(PacketWrapper* pw);
 
@@ -237,6 +262,10 @@ class Gate {
   std::deque<RecvRequest*> expected_;
   std::deque<UnexEager> unex_eager_;
   std::deque<UnexRts> unex_rts_;
+  /// Revoked tag windows, (mask, value) pairs — see revoke_tags(). Grows
+  /// by one entry per dying collective epoch; never shrinks (tiny, and a
+  /// failed communicator is terminal under ULFM semantics anyway).
+  std::vector<std::pair<Tag, Tag>> revoked_;
   SendRequest* pending_head_ = nullptr;  // intrusive FIFO of deferred sends
   SendRequest* pending_tail_ = nullptr;
   std::size_t pending_count_ = 0;

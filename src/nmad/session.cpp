@@ -12,6 +12,7 @@ const char* pkt_kind_name(PktKind k) {
     case PktKind::kFin: return "fin";
     case PktKind::kAck: return "ack";
     case PktKind::kPing: return "ping";
+    case PktKind::kNack: return "nack";
   }
   return "?";
 }

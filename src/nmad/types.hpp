@@ -53,6 +53,13 @@ enum class PktKind : uint8_t {
   /// repaired by the next period's ping. Their only effect on the receiver
   /// is refreshing the gate's liveness timestamp.
   kPing = 6,
+  /// Rendezvous refusal: the receiver will never match this RTS (its tag
+  /// falls in a revoked window — see Gate::revoke_tags). Carries the RTS's
+  /// tag+seq; the sender error-completes the request parked for FIN instead
+  /// of waiting forever. Unlike acks/pings, NACKs ride the reliability
+  /// layer (sequenced, acknowledged, retransmitted): a lost NACK must not
+  /// re-open the hang it exists to close.
+  kNack = 7,
 };
 
 [[nodiscard]] const char* pkt_kind_name(PktKind k);

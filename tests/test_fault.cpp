@@ -374,6 +374,139 @@ TEST(LossyLiveness, SilentReceiverBreaksRetransmitLoopViaDetector) {
   receiver.join();
 }
 
+// ---- rendezvous rounds under failure ---------------------------------------
+//
+// Collective payloads above the eager threshold run every round over the
+// RTS / RDMA-read / FIN path, where error completion is a protocol rather
+// than a local act: a survivor that cancels (or, one round behind, never
+// posts) a round receive must NACK the matching RTS — via the failing
+// collective's epoch revocation (CollOp::advance_failing) or the
+// detector's whole-reserved-space revocation — or the *sending* survivor
+// parks in rdv_waiting_fin_ on a live gate forever. The all-eager matrix
+// above can never reach that hang; this loop, iterating rendezvous-sized
+// allreduces until a mid-run kill is detected, can.
+TEST(RdvDrain, RendezvousCollectivesErrorCompleteAfterKill) {
+  constexpr int kN = 4;
+  constexpr int kVictim = kN - 1;
+  for (const EngineKind kind : {EngineKind::kPioman, EngineKind::kMvapichLike,
+                                EngineKind::kOpenMpiLike}) {
+    WorldConfig cfg = fault_world_config(kind, kN, MeshKind::kSimnet);
+    cfg.session.eager_threshold = 1024;  // 8 KiB payloads go rendezvous
+    World world(cfg);
+    const int64_t budget = completion_budget_ns(cfg.failure);
+    std::atomic<bool> killed{false};
+    std::vector<std::thread> ranks;
+    for (int r = 0; r < kN; ++r) {
+      ranks.emplace_back([&, r] {
+        Comm& comm = world.comm(r);
+        constexpr std::size_t kElems = 1024;  // 8 KiB of int64 per round
+        const int64_t give_up = util::now_ns() + 20 * budget;
+        const auto run_over = [&] {
+          return r == kVictim ? comm.any_rank_failed()
+                              : comm.rank_failed(kVictim);
+        };
+        for (int64_t iter = 0; !run_over(); ++iter) {
+          ASSERT_LT(util::now_ns(), give_up)
+              << "rank " << r << ": no failure verdict after 20 budgets";
+          // N = 4 is a power of two: recursive doubling swaps the whole
+          // 8 KiB vector with a different partner every phase, so a kill
+          // lands between survivors mid-rendezvous with high probability.
+          std::vector<int64_t> red(kElems, iter + r);
+          CollRequest cr;
+          comm.iallreduce(cr, red.data(), red.size(), ReduceOp::kSum);
+          int64_t deadline = 0;
+          while (!comm.test(cr)) {
+            if (killed.load(std::memory_order_acquire)) {
+              if (deadline == 0) deadline = util::now_ns() + budget;
+              ASSERT_LT(util::now_ns(), deadline)
+                  << "rank " << r << " (" << engine_tag(kind)
+                  << "): rendezvous allreduce outlived the budget — a "
+                     "round send is parked for a FIN/NACK that never came";
+            }
+            std::this_thread::yield();
+          }
+          if (!cr.failed()) {
+            int64_t expect = 0;
+            for (int q = 0; q < kN; ++q) expect += iter + q;
+            EXPECT_EQ(red[0], expect) << "rank " << r << " iter " << iter;
+            EXPECT_EQ(red[kElems - 1], expect)
+                << "rank " << r << " iter " << iter;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(3 * cfg.failure.heartbeat_period_us)));
+    world.kill_rank(kVictim);
+    killed.store(true, std::memory_order_release);
+    for (auto& t : ranks) t.join();
+    for (int r = 0; r < kVictim; ++r) {
+      EXPECT_TRUE(world.comm(r).rank_failed(kVictim))
+          << "rank " << r << " (" << engine_tag(kind)
+          << ") never declared the victim";
+    }
+  }
+}
+
+// Deterministic pin on the parked-rendezvous hang. The loop above relies on
+// a racy kill interleaving, and on caller-driven engines it can pass even
+// without revocation: a survivor that drains and stops progressing also
+// stops pinging, so its peers eventually (falsely) evict it and fail_peer
+// completes the parked send anyway. Here the interleaving is forced — the
+// root's rendezvous fan-out stages an RTS at a survivor that never posts
+// the matching receive — and both survivors keep progressing (pinging)
+// throughout, so the false-positive escape hatch is closed: the parked send
+// can only complete via the detector's reserved-space revocation NACK.
+TEST(RdvDrain, ParkedRendezvousRoundIsNackedWhileSurvivorsStayLive) {
+  WorldConfig cfg =
+      fault_world_config(EngineKind::kMvapichLike, 3, MeshKind::kSimnet);
+  cfg.session.eager_threshold = 1024;  // 8 KiB payload goes rendezvous
+  World world(cfg);
+  Comm& a = world.comm(0);
+  Comm& b = world.comm(1);
+  const int64_t budget = completion_budget_ns(cfg.failure);
+
+  world.kill_rank(2);
+  // Rank 0 roots an ibcast right away, before its detector can have fired:
+  // the binomial fan-out posts rendezvous sends to both rank 1 and the
+  // (already dead) rank 2 in its first advance. Rank 1 never starts the
+  // bcast — the survivor that observed the failure and stopped calling
+  // collectives — so rank 0's RTS towards it stages unmatched.
+  std::vector<uint8_t> payload(8192, 0xab);
+  CollRequest cr;
+  a.ibcast(cr, payload.data(), payload.size(), 0);
+  const int64_t staged_by = util::now_ns() + budget;
+  while (b.gate_to(0).stats().unexpected_rts == 0) {
+    ASSERT_LT(util::now_ns(), staged_by)
+        << "root's rendezvous RTS never staged at the idle survivor";
+    (void)a.test(cr);  // drives rank 0's engine; can't be done yet
+    b.engine().progress();
+    std::this_thread::yield();
+  }
+  ASSERT_GE(a.gate_to(1).stats().rdv_sent, 1u)
+      << "fan-out went eager; the test would be vacuous";
+  // Drive both survivors until the collective completes. Without the
+  // revocation NACK this parks forever: rank 1 stays live (pinging), so no
+  // eviction ever error-completes rank 0's send.
+  const int64_t deadline = util::now_ns() + budget;
+  while (!a.test(cr)) {
+    ASSERT_LT(util::now_ns(), deadline)
+        << "root's rendezvous send parked past the budget — the staged RTS "
+           "was never NACKed";
+    b.engine().progress();
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(cr.failed());
+  EXPECT_GE(b.gate_to(0).stats().rts_nacked, 1u);
+  EXPECT_GE(a.gate_to(1).stats().sends_nacked, 1u);
+  // The completion really came from the NACK, not a false-positive cascade:
+  // the survivors never declared each other, only the victim.
+  EXPECT_FALSE(a.rank_failed(1));
+  EXPECT_FALSE(b.rank_failed(0));
+  EXPECT_TRUE(a.rank_failed(2));
+  EXPECT_TRUE(b.rank_failed(2));
+}
+
 // ---- chaos: seeded random kills under test_nrank-style iteration bodies ----
 
 uint64_t chaos_seed() {

@@ -450,6 +450,83 @@ TEST_P(NmadSizeSweep, RoundTripsIntact) {
   }
 }
 
+// ---- rendezvous refusal (revoke_tags / kNack) ------------------------------
+//
+// The failure-drain protocol behind the collectives: a receiver that will
+// never post a matching receive revokes the tag window, which NACKs the
+// peer's RTS — staged or still in flight — so the sender error-completes
+// instead of parking in rdv_waiting_fin_ forever. Both arrival orders are
+// pinned deterministically here (the mpi-level fault tests only reach them
+// through racy kill timing).
+
+TEST(NmadRevoke, StagedRtsIsNackedOnRevoke) {
+  NmadPair p;
+  std::vector<uint8_t> big(64 * 1024, 0xab);  // > eager threshold: rdv path
+  SendRequest sreq;
+  p.ga->isend(sreq, /*tag=*/21, big.data(), big.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_rts == 1;
+  }));
+  EXPECT_FALSE(sreq.completed());  // parked, waiting for a FIN
+  p.gb->revoke_tags(/*mask=*/0xffffffffu, /*value=*/21);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return sreq.completed(); }));
+  EXPECT_TRUE(sreq.core.has_failed());
+  EXPECT_EQ(p.gb->stats().rts_nacked, 1u);
+  EXPECT_EQ(p.ga->stats().sends_nacked, 1u);
+}
+
+TEST(NmadRevoke, LateRtsIsNackedOnArrival) {
+  // Reliable session: the NACK is sequenced, acked and dedup-tracked like
+  // any data packet — this covers that plumbing too.
+  SessionConfig cfg;
+  cfg.reliable = true;
+  NmadPair p(cfg);
+  p.gb->revoke_tags(/*mask=*/0xffffffffu, /*value=*/22);
+  std::vector<uint8_t> big(64 * 1024, 0xcd);
+  SendRequest sreq;
+  p.ga->isend(sreq, /*tag=*/22, big.data(), big.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return sreq.completed(); }));
+  EXPECT_TRUE(sreq.core.has_failed());
+  EXPECT_EQ(p.gb->stats().rts_nacked, 1u);
+  EXPECT_EQ(p.ga->stats().sends_nacked, 1u);
+
+  // The revocation is a window, not a blanket: other tags still rendezvous
+  // normally on the same gate pair.
+  SendRequest ok;
+  RecvRequest rok;
+  std::vector<uint8_t> out(big.size(), 0);
+  p.gb->irecv(rok, /*tag=*/23, out.data(), out.size());
+  p.ga->isend(ok, /*tag=*/23, big.data(), big.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return ok.completed() && rok.completed();
+  }));
+  EXPECT_FALSE(ok.core.has_failed());
+  EXPECT_EQ(out, big);
+}
+
+TEST(NmadRevoke, MaskedWindowCoversManyTags) {
+  // The collectives revoke a whole epoch at once: every tag with the same
+  // high bits falls, other windows stay live.
+  NmadPair p;
+  p.gb->revoke_tags(/*mask=*/0xffffff00u, /*value=*/0x4200u);
+  std::vector<uint8_t> big(64 * 1024, 0x11);
+  SendRequest in_window, outside;
+  p.ga->isend(in_window, /*tag=*/0x42aa, big.data(), big.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return in_window.completed();
+  }));
+  EXPECT_TRUE(in_window.core.has_failed());
+  RecvRequest rok;
+  std::vector<uint8_t> out(big.size(), 0);
+  p.gb->irecv(rok, /*tag=*/0x43aa, out.data(), out.size());
+  p.ga->isend(outside, /*tag=*/0x43aa, big.data(), big.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return outside.completed() && rok.completed();
+  }));
+  EXPECT_FALSE(outside.core.has_failed());
+  EXPECT_EQ(out, big);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sizes, NmadSizeSweep,
     ::testing::Values(1u, 7u, 64u, 1024u, 16 * 1024u - 1, 16 * 1024u,
