@@ -10,21 +10,19 @@
 
 namespace piom::nmad {
 
-namespace {
-/// Tag-matching predicate shared by every scan (expected queue, staged
-/// unexpected arrivals). kAnyTag is an application-level wildcard: it never
-/// matches reserved-space (collective/internal) traffic, so a wildcard
-/// receive posted while a collective runs cannot claim its packets.
-[[nodiscard]] bool recv_tag_matches(const RecvRequest& req, Tag arrival) {
-  if (req.tag == arrival) return true;
-  return req.tag == kAnyTag && !tag_is_reserved(arrival);
-}
-}  // namespace
-
 Gate::Gate(Session& session, std::vector<transport::IChannel*> rails,
            int peer_rank)
-    : session_(session), peer_rank_(peer_rank) {
-  const int bufs = session_.config().pool_bufs_per_rail;
+    : session_(session),
+      peer_rank_(peer_rank),
+      matcher_(session.config().matcher.value_or(MatcherKind::kBucket),
+               session.config().matcher_buckets) {
+  // Warm-up is lazy: post a small initial buffer set per rail and let
+  // poll_rail() grow it towards pool_bufs_per_rail under RX pressure, so
+  // an N-rank world doesn't pay O(N^2) x 64KiB for mostly-idle pairs.
+  // Safe because both transports stage arrivals (driver-side copy) when no
+  // receive buffer is posted — exhaustion degrades, never drops.
+  const int bufs = std::min(session_.config().pool_bufs_initial,
+                            session_.config().pool_bufs_per_rail);
   for (std::size_t i = 0; i < rails.size(); ++i) {
     RailState& r = rails_.emplace_back();
     r.ch = rails[i];
@@ -34,13 +32,15 @@ Gate::Gate(Session& session, std::vector<transport::IChannel*> rails,
     for (int b = 0; b < bufs; ++b) {
       r.pool.push_back(PoolBuf{this, r.index, std::vector<uint8_t>(kPoolBufSize)});
     }
-    // deque iterators/references are stable under no further insertion:
+    // deque references are stable under push_back (lazy growth included):
     // post every pool buffer now and recycle them forever after.
     for (PoolBuf& pb : r.pool) {
       r.ch->post_recv(pb.data.data(), pb.data.size(),
                       reinterpret_cast<uint64_t>(&pb));
     }
+    r.posted_bufs = bufs;
   }
+  recv_bufs_hw_.store(static_cast<uint64_t>(bufs), std::memory_order_relaxed);
 }
 
 Gate::~Gate() {
@@ -139,36 +139,42 @@ void Gate::submit_pending() {
       continue;
     }
 
-    // Gather a batch of eager messages for aggregation (stop at the first
-    // rendezvous request to keep the FIFO order of RTS vs eager simple).
-    std::vector<SendRequest*> batch{first};
+    // Gather a batch of eager messages for aggregation by detaching an
+    // intrusive sub-chain [first..last] of the pending FIFO — the requests
+    // are already linked, so batching allocates nothing. Stop at the first
+    // rendezvous request to keep the FIFO order of RTS vs eager simple.
+    SendRequest* last = first;
+    int nmsgs = 1;
     std::size_t body_bytes = sizeof(PackEntry) + first->len;
-    if (strategy.config().aggregation) {
+    if (strategy.aggregation()) {
       while (pending_head_ != nullptr && !pending_head_->rdv &&
-             static_cast<int>(batch.size()) < strategy.config().max_pack_msgs &&
+             nmsgs < strategy.config().max_pack_msgs &&
              body_bytes + sizeof(PackEntry) + pending_head_->len <=
                  strategy.config().max_pack_bytes) {
-        SendRequest* next = pending_head_;
-        pending_head_ = next->next;
+        last = pending_head_;
+        pending_head_ = last->next;
         if (pending_head_ == nullptr) pending_tail_ = nullptr;
         --pending_count_;
-        body_bytes += sizeof(PackEntry) + next->len;
-        batch.push_back(next);
+        body_bytes += sizeof(PackEntry) + last->len;
+        ++nmsgs;
       }
     }
-    if (batch.size() >= 2) {
+    // Terminate the chain: `last` may still point into the remaining FIFO.
+    last->next = nullptr;
+    if (nmsgs >= 2) {
       stats_.packs_sent++;
-      stats_.msgs_packed += batch.size();
-      stats_.eager_sent += batch.size();
+      stats_.msgs_packed += static_cast<uint64_t>(nmsgs);
+      stats_.eager_sent += static_cast<uint64_t>(nmsgs);
     } else {
       stats_.eager_sent++;
     }
     lock_.unlock();
 
-    // Serialize outside the lock: payload buffers are caller-owned and
-    // stable until completion.
+    // Serialize outside the lock, straight into a recycled wrapper (wire
+    // image and request list keep their capacity across reuse): payload
+    // buffers are caller-owned and stable until completion.
     PacketWrapper* pw = pw_pool_.acquire();
-    if (batch.size() == 1) {
+    if (nmsgs == 1) {
       PktHeader hdr;
       hdr.kind = static_cast<uint8_t>(PktKind::kEager);
       hdr.tag = first->tag;
@@ -180,10 +186,10 @@ void Gate::submit_pending() {
     } else {
       PktHeader hdr;
       hdr.kind = static_cast<uint8_t>(PktKind::kPack);
-      hdr.nmsgs = static_cast<uint16_t>(batch.size());
+      hdr.nmsgs = static_cast<uint16_t>(nmsgs);
       hdr.seq = first->seq;
       pw->begin(hdr);
-      for (SendRequest* req : batch) {
+      for (SendRequest* req = first; req != nullptr; req = req->next) {
         PackEntry entry;
         entry.tag = req->tag;
         entry.seq = req->seq;
@@ -356,21 +362,18 @@ void Gate::fail_peer() {
       to_release.push_back(pw);
     }
   }
-  for (auto it = expected_.begin(); it != expected_.end();) {
-    RecvRequest* req = *it;
-    if (!claim_expected(*req)) {
-      it = expected_.erase(it);  // sibling gate is delivering: stale entry
-      continue;
-    }
-    dead_recvs.push_back(req);
-    it = expected_.erase(it);
-  }
+  lock_.unlock();
+  // Matching state drains under the matcher's own lock. The peer_dead_
+  // flag flipped above, so an irecv that enters the matcher after this
+  // drain fails fast, and one that entered before is swept here — the same
+  // flag-then-sweep handshake the pending FIFO uses with lock_.
+  matcher_.lock();
+  matcher_.drain_posted(dead_recvs);  // claim-checked: stale entries drop
   // Staged unexpected arrivals are unreachable once the peer is evicted
   // (every later irecv on this gate fails fast, so nothing can ever match
   // them) — drop them now instead of pinning memory until destruction.
-  unex_eager_.clear();
-  unex_rts_.clear();
-  lock_.unlock();
+  matcher_.clear_unexpected();
+  matcher_.unlock();
   for (PacketWrapper* pw : to_release) pw_pool_.release(pw);
   for (SendRequest* req : dead_sends) {
     req->core.mark_failed();
@@ -385,21 +388,13 @@ void Gate::fail_peer() {
 }
 
 bool Gate::cancel_recv(RecvRequest& req) {
-  lock_.lock();
-  auto it = std::find(expected_.begin(), expected_.end(), &req);
-  if (it == expected_.end()) {
-    // Matched already (delivery may still be in flight — the caller keeps
-    // polling completion) or registered on another gate.
-    lock_.unlock();
-    return false;
-  }
-  if (!claim_expected(req)) {
-    expected_.erase(it);  // sibling gate won the wildcard: stale entry
-    lock_.unlock();
-    return false;
-  }
-  expected_.erase(it);
-  lock_.unlock();
+  matcher_.lock();
+  const TagMatcher::Cancel outcome = matcher_.cancel_posted(req);
+  matcher_.unlock();
+  // kAbsent: matched already (delivery may still be in flight — the caller
+  // keeps polling completion) or registered on another gate. kStale: a
+  // sibling gate won the wildcard.
+  if (outcome != TagMatcher::Cancel::kClaimed) return false;
   if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
   req.source = peer_rank_;
   req.core.mark_failed();
@@ -407,42 +402,17 @@ bool Gate::cancel_recv(RecvRequest& req) {
   return true;
 }
 
-bool Gate::tag_revoked(Tag tag) const {
-  for (const auto& [mask, value] : revoked_) {
-    if ((tag & mask) == value) return true;
-  }
-  return false;
-}
-
 void Gate::revoke_tags(Tag mask, Tag value) {
   // Dead gate: fail_peer already error-completed the peer's senders and
   // dropped the staged arrivals, and a NACK towards a quiesced rail would
   // go nowhere anyway.
   if (peer_dead_.load(std::memory_order_acquire)) return;
-  std::vector<UnexRts> to_nack;
-  lock_.lock();
-  const auto window = std::make_pair(mask, value);
-  if (std::find(revoked_.begin(), revoked_.end(), window) == revoked_.end()) {
-    revoked_.push_back(window);
-  }
-  for (auto it = unex_rts_.begin(); it != unex_rts_.end();) {
-    if ((it->tag & mask) == value) {
-      to_nack.push_back(*it);
-      it = unex_rts_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = unex_eager_.begin(); it != unex_eager_.end();) {
-    if ((it->tag & mask) == value) {
-      it = unex_eager_.erase(it);  // eager sends completed on ack/TX: drop
-    } else {
-      ++it;
-    }
-  }
-  stats_.rts_nacked += to_nack.size();
-  lock_.unlock();
-  for (const UnexRts& rts : to_nack) send_nack(rts.tag, rts.seq);
+  std::vector<RdvStub> to_nack;
+  matcher_.lock();
+  matcher_.revoke(mask, value, to_nack);
+  matcher_.unlock();
+  recv_stats_.rts_nacked.fetch_add(to_nack.size(), std::memory_order_relaxed);
+  for (const RdvStub& rts : to_nack) send_nack(rts.tag, rts.seq);
 }
 
 void Gate::send_nack(Tag tag, uint64_t seq) {
@@ -471,136 +441,77 @@ void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
   req.wild_gates = nullptr;
   req.wild_claim.store(0, std::memory_order_relaxed);
   req.core.reset();
-
-  lock_.lock();
-  if (peer_dead_.load(std::memory_order_acquire)) {
-    // Checked under lock_ (see isend): never enqueue behind the sweep.
-    // ULFM-style: a receive from a failed rank fails even if matching
-    // unexpected data is still staged — the failure is permanent.
-    lock_.unlock();
-    req.source = peer_rank_;
-    req.core.mark_failed();
-    req.core.complete();
-    return;
-  }
-  switch (match_unexpected(req)) {
-    case MatchResult::kDelivered:
-      return;  // lock released by match_unexpected
-    case MatchResult::kLost:
-      // Unreachable for a single-gate request (the claim always succeeds),
-      // but keep the lock discipline airtight should one ever route here.
-      lock_.unlock();
-      return;
-    case MatchResult::kNone:
-      break;
-  }
-  expected_.push_back(&req);
-  lock_.unlock();
+  match_or_post(req);
 }
 
 bool Gate::post_wild(RecvRequest& req) {
-  lock_.lock();
   if (req.wild_claim.load(std::memory_order_acquire) != 0) {
     // An arrival at a gate registered earlier already claimed the request
-    // (delivery may still be in flight) — stop registering.
-    lock_.unlock();
+    // (delivery may still be in flight) — stop registering. (A stale
+    // reading here is benign: the insert path under the matcher lock
+    // re-checks nothing, but an already-claimed request inserted as posted
+    // is dropped as stale by the next scan that meets it.)
     return true;
   }
+  return match_or_post(req);
+}
+
+bool Gate::match_or_post(RecvRequest& req) {
+  matcher_.lock();
   if (peer_dead_.load(std::memory_order_acquire)) {
-    // Any-source semantics under failure (ULFM): one dead candidate fails
-    // the whole wildcard, because "no matching sender exists anymore"
-    // cannot be distinguished from "the dead one was the sender".
-    if (!claim_expected(req)) {
-      lock_.unlock();
-      return true;
-    }
-    lock_.unlock();
-    purge_wild_siblings(req, this);
+    // Checked under the matcher lock: fail_peer() flips the flag before
+    // draining the posted structure, so a receive enqueued after its drain
+    // would hang. ULFM-style: a receive from a failed rank fails even if
+    // matching unexpected data is still staged — the failure is permanent.
+    // For any-source requests one dead candidate fails the whole wildcard,
+    // because "no matching sender exists anymore" cannot be distinguished
+    // from "the dead one was the sender".
+    matcher_.unlock();
+    if (!try_claim(req)) return true;  // sibling delivered concurrently
+    if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
     req.source = peer_rank_;
     req.core.mark_failed();
     req.core.complete();
     return true;
   }
-  switch (match_unexpected(req)) {
-    case MatchResult::kDelivered:
-      return true;  // lock released by match_unexpected
-    case MatchResult::kLost:
-      lock_.unlock();
-      return true;
-    case MatchResult::kNone:
-      break;
+  bool lost = false;
+  UnexEntry* entry = matcher_.claim_unexpected(req, lost);
+  if (entry == nullptr && !lost) {
+    matcher_.insert_posted(req);
+    matcher_.unlock();
+    return false;
   }
-  expected_.push_back(&req);
-  lock_.unlock();
-  return false;
+  matcher_.unlock();
+  if (lost) return true;  // any-source request claimed by a sibling gate
+  if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
+  deliver_unexpected(req, entry);
+  return true;
+}
+
+void Gate::deliver_unexpected(RecvRequest& req, UnexEntry* entry) {
+  if (entry->rdv) {
+    recv_stats_.rdv_recv.fetch_add(1, std::memory_order_relaxed);
+    start_pull(req, RdvStub{entry->tag, entry->seq, entry->len, entry->raddr});
+  } else {
+    deliver_eager(req, entry->data.data(), entry->data.size(), entry->seq,
+                  entry->tag);
+  }
+  matcher_.recycle(entry);
 }
 
 void Gate::remove_expected(RecvRequest& req) {
-  lock_.lock();
-  for (auto it = expected_.begin(); it != expected_.end(); ++it) {
-    if (*it == &req) {
-      expected_.erase(it);
-      break;
-    }
-  }
-  lock_.unlock();
-}
-
-bool Gate::claim_expected(RecvRequest& req) {
-  if (req.wild_gates == nullptr) return true;  // single-gate request
-  uint32_t unclaimed = 0;
-  return req.wild_claim.compare_exchange_strong(unclaimed, 1,
-                                                std::memory_order_acq_rel);
+  matcher_.lock();
+  matcher_.remove_posted(req);
+  matcher_.unlock();
 }
 
 void Gate::purge_wild_siblings(RecvRequest& req, Gate* claimer) {
   // Safe without any lock held: the request cannot complete (and thus be
   // freed by its owner) until after this purge, and each sibling erase is
-  // serialized against that gate's matching scans by its own lock.
+  // serialized against that gate's matching scans by its matcher lock.
   for (Gate* g : *req.wild_gates) {
     if (g != nullptr && g != claimer) g->remove_expected(req);
   }
-}
-
-Gate::MatchResult Gate::match_unexpected(RecvRequest& req) {
-  // Match the lowest-sequence unexpected arrival for this tag, across both
-  // the eager and the rendezvous unexpected lists. Requires lock_; on a
-  // match (kDelivered) the lock is released before delivery. kLost keeps
-  // the lock held.
-  auto eager_it = unex_eager_.end();
-  for (auto it = unex_eager_.begin(); it != unex_eager_.end(); ++it) {
-    if (recv_tag_matches(req, it->tag) &&
-        (eager_it == unex_eager_.end() || it->seq < eager_it->seq)) {
-      eager_it = it;
-    }
-  }
-  auto rts_it = unex_rts_.end();
-  for (auto it = unex_rts_.begin(); it != unex_rts_.end(); ++it) {
-    if (recv_tag_matches(req, it->tag) &&
-        (rts_it == unex_rts_.end() || it->seq < rts_it->seq)) {
-      rts_it = it;
-    }
-  }
-  const bool have_eager = eager_it != unex_eager_.end();
-  const bool have_rts = rts_it != unex_rts_.end();
-  if (!have_eager && !have_rts) return MatchResult::kNone;
-  if (!claim_expected(req)) return MatchResult::kLost;
-  if (have_eager && (!have_rts || eager_it->seq < rts_it->seq)) {
-    UnexEager arrival = std::move(*eager_it);
-    unex_eager_.erase(eager_it);
-    lock_.unlock();
-    if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
-    deliver_eager(req, arrival.data.data(), arrival.data.size(), arrival.seq,
-                  arrival.tag);
-    return MatchResult::kDelivered;
-  }
-  const UnexRts rts = *rts_it;
-  unex_rts_.erase(rts_it);
-  stats_.rdv_recv++;
-  lock_.unlock();
-  if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
-  start_pull(req, rts);
-  return MatchResult::kDelivered;
 }
 
 void Gate::deliver_eager(RecvRequest& req, const uint8_t* payload,
@@ -648,6 +559,7 @@ int Gate::poll_rail(int rail_index) {
   // queueing (other rails / other gates remain pollable concurrently).
   if (!rail.poll_lock.try_lock()) return 0;
   int events = 0;
+  int rx = 0;
   transport::Completion c;
   while (rail.ch->poll_rx(c)) {
     auto* pb = reinterpret_cast<PoolBuf*>(c.wrid);
@@ -656,6 +568,30 @@ int Gate::poll_rail(int rail_index) {
     rail.ch->post_recv(pb->data.data(), pb->data.size(),
                        reinterpret_cast<uint64_t>(pb));
     ++events;
+    ++rx;
+  }
+  // Lazy pool growth: a sweep that drained as many arrivals as there are
+  // posted buffers means the ring saturated — later arrivals were staged
+  // (driver-side copy) instead of landing in our buffers. Double the pool
+  // towards the configured ceiling. Guarded by poll_lock; deque push_back
+  // keeps references to already-posted buffers stable.
+  const int ceiling = session_.config().pool_bufs_per_rail;
+  if (rx >= rail.posted_bufs && rail.posted_bufs < ceiling) {
+    const int target = std::min(2 * rail.posted_bufs, ceiling);
+    for (int b = rail.posted_bufs; b < target; ++b) {
+      rail.pool.push_back(
+          PoolBuf{this, rail.index, std::vector<uint8_t>(kPoolBufSize)});
+      PoolBuf& pb = rail.pool.back();
+      rail.ch->post_recv(pb.data.data(), pb.data.size(),
+                         reinterpret_cast<uint64_t>(&pb));
+    }
+    rail.posted_bufs = target;
+    recv_pool_growths_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t hw = recv_bufs_hw_.load(std::memory_order_relaxed);
+    while (hw < static_cast<uint64_t>(target) &&
+           !recv_bufs_hw_.compare_exchange_weak(
+               hw, static_cast<uint64_t>(target), std::memory_order_relaxed)) {
+    }
   }
   while (rail.ch->poll_tx(c)) {
     handle_tx_completion(c);
@@ -730,35 +666,22 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
 }
 
 void Gate::handle_eager(const PktHeader& hdr, const uint8_t* payload) {
-  lock_.lock();
-  stats_.eager_recv++;
-  for (auto it = expected_.begin(); it != expected_.end();) {
-    RecvRequest* req = *it;
-    if (!recv_tag_matches(*req, hdr.tag)) {
-      ++it;
-      continue;
-    }
-    if (!claim_expected(*req)) {
-      // Any-source request a sibling gate has already claimed: the entry
-      // is stale, drop it and keep scanning.
-      it = expected_.erase(it);
-      continue;
-    }
-    expected_.erase(it);
-    lock_.unlock();
+  recv_stats_.eager_recv.fetch_add(1, std::memory_order_relaxed);
+  matcher_.lock();
+  RecvRequest* req = matcher_.claim_for_arrival(hdr.tag);
+  if (req != nullptr) {
+    matcher_.unlock();
     if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
     deliver_eager(*req, payload, static_cast<std::size_t>(hdr.len), hdr.seq,
                   hdr.tag);
     return;
   }
-  // Unexpected: keep a copy (the pool buffer is recycled right after us).
-  UnexEager arrival;
-  arrival.tag = hdr.tag;
-  arrival.seq = hdr.seq;
-  arrival.data.assign(payload, payload + hdr.len);
-  unex_eager_.push_back(std::move(arrival));
-  stats_.unexpected_eager++;
-  lock_.unlock();
+  // Unexpected: stage a copy into a recycled entry (the pool buffer is
+  // reposted right after us).
+  matcher_.stage_eager(hdr.tag, hdr.seq, payload,
+                       static_cast<std::size_t>(hdr.len));
+  matcher_.unlock();
+  recv_stats_.unexpected_eager.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Gate::handle_pack(const PktHeader& hdr, const uint8_t* body,
@@ -783,44 +706,30 @@ void Gate::handle_pack(const PktHeader& hdr, const uint8_t* body,
 }
 
 void Gate::handle_rts(const PktHeader& hdr) {
-  UnexRts rts;
-  rts.tag = hdr.tag;
-  rts.seq = hdr.seq;
-  rts.len = hdr.len;
-  rts.raddr = hdr.raddr;
-  lock_.lock();
-  if (tag_revoked(hdr.tag)) {
+  matcher_.lock();
+  if (matcher_.tag_revoked(hdr.tag)) {
     // No receive will ever be posted for this window (the collective it
     // belongs to is draining towards error completion): refuse the
     // rendezvous so the sender error-completes instead of parking for a
-    // FIN that cannot come. Checked before the expected scan on purpose —
+    // FIN that cannot come. Checked before the posted lookup on purpose —
     // a still-queued receive in a revoked window is itself about to be
     // cancelled, and matching it would race the cancel with a pull.
-    stats_.rts_nacked++;
-    lock_.unlock();
+    matcher_.unlock();
+    recv_stats_.rts_nacked.fetch_add(1, std::memory_order_relaxed);
     send_nack(hdr.tag, hdr.seq);
     return;
   }
-  for (auto it = expected_.begin(); it != expected_.end();) {
-    RecvRequest* req = *it;
-    if (!recv_tag_matches(*req, hdr.tag)) {
-      ++it;
-      continue;
-    }
-    if (!claim_expected(*req)) {
-      it = expected_.erase(it);
-      continue;
-    }
-    expected_.erase(it);
-    stats_.rdv_recv++;
-    lock_.unlock();
+  RecvRequest* req = matcher_.claim_for_arrival(hdr.tag);
+  if (req != nullptr) {
+    matcher_.unlock();
+    recv_stats_.rdv_recv.fetch_add(1, std::memory_order_relaxed);
     if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
-    start_pull(*req, rts);
+    start_pull(*req, RdvStub{hdr.tag, hdr.seq, hdr.len, hdr.raddr});
     return;
   }
-  unex_rts_.push_back(rts);
-  stats_.unexpected_rts++;
-  lock_.unlock();
+  matcher_.stage_rts(hdr.tag, hdr.seq, hdr.len, hdr.raddr);
+  matcher_.unlock();
+  recv_stats_.unexpected_rts.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Gate::handle_fin(const PktHeader& hdr) {
@@ -861,7 +770,7 @@ void Gate::handle_nack(const PktHeader& hdr) {
   // a warning.
 }
 
-void Gate::start_pull(RecvRequest& req, const UnexRts& rts) {
+void Gate::start_pull(RecvRequest& req, const RdvStub& rts) {
   req.matched_seq = rts.seq;
   req.matched_tag = rts.tag;
   req.gate = this;
@@ -949,8 +858,27 @@ void Gate::handle_tx_completion(const transport::Completion& c) {
 
 GateStats Gate::stats() const {
   lock_.lock();
-  const GateStats s = stats_;
+  GateStats s = stats_;
   lock_.unlock();
+  // Receive-path counters moved off lock_ with the matcher split.
+  s.eager_recv = recv_stats_.eager_recv.load(std::memory_order_relaxed);
+  s.rdv_recv = recv_stats_.rdv_recv.load(std::memory_order_relaxed);
+  s.unexpected_eager =
+      recv_stats_.unexpected_eager.load(std::memory_order_relaxed);
+  s.unexpected_rts =
+      recv_stats_.unexpected_rts.load(std::memory_order_relaxed);
+  s.rts_nacked = recv_stats_.rts_nacked.load(std::memory_order_relaxed);
+  const MatcherStats m = matcher_.stats_snapshot();
+  s.match_bucket_hits = m.bucket_hits;
+  s.match_wildcard_scans = m.wildcard_scans;
+  s.posted_depth_hw = m.posted_depth_hw;
+  s.unexpected_depth_hw = m.unexpected_depth_hw;
+  s.match_pool_hits = m.pool_hits;
+  s.match_pool_misses = m.pool_misses;
+  s.pw_pool_hits = pw_pool_.hits();
+  s.pw_pool_misses = pw_pool_.allocated();
+  s.recv_bufs_posted_hw = recv_bufs_hw_.load(std::memory_order_relaxed);
+  s.recv_pool_growths = recv_pool_growths_.load(std::memory_order_relaxed);
   return s;
 }
 

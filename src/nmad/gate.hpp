@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "nmad/matcher.hpp"
 #include "nmad/packet.hpp"
 #include "nmad/request.hpp"
 #include "nmad/strategy.hpp"
@@ -50,15 +51,29 @@ struct GateStats {
   // local rendezvous sends error-completed by a peer's kNack.
   uint64_t rts_nacked = 0;
   uint64_t sends_nacked = 0;
+  // Matcher observability (TagMatcher snapshot):
+  uint64_t match_bucket_hits = 0;     ///< lookups resolved via a tag bucket
+  uint64_t match_wildcard_scans = 0;  ///< full scans on behalf of kAnyTag
+  uint64_t posted_depth_hw = 0;       ///< posted-receive high-water
+  uint64_t unexpected_depth_hw = 0;   ///< staged-arrival high-water
+  uint64_t match_pool_hits = 0;       ///< matcher node/entry freelist reuses
+  uint64_t match_pool_misses = 0;     ///< matcher allocations
+  // Packet-wrapper pool (send path) and lazy receive-buffer pool:
+  uint64_t pw_pool_hits = 0;
+  uint64_t pw_pool_misses = 0;
+  uint64_t recv_bufs_posted_hw = 0;  ///< max buffers posted on any one rail
+  uint64_t recv_pool_growths = 0;    ///< lazy-growth events across rails
 };
 
 class Gate {
  public:
   /// `rails` are this side's connected transport channels towards the peer
-  /// (any backend, freely mixed); they must outlive the gate. Receive pool
-  /// buffers are posted immediately. `peer_rank` identifies the peer in the
-  /// owning cluster (reported as RecvRequest::source on every match; -1
-  /// when the caller doesn't care).
+  /// (any backend, freely mixed); they must outlive the gate. A small
+  /// initial set of receive pool buffers is posted immediately; the pool
+  /// grows lazily towards pool_bufs_per_rail under RX pressure (see
+  /// SessionConfig::pool_bufs_initial). `peer_rank` identifies the peer in
+  /// the owning cluster (reported as RecvRequest::source on every match;
+  /// -1 when the caller doesn't care).
   Gate(Session& session, std::vector<transport::IChannel*> rails,
        int peer_rank = -1);
   ~Gate();
@@ -181,21 +196,11 @@ class Gate {
     transport::IChannel* ch = nullptr;
     int index = 0;
     std::deque<PoolBuf> pool;
+    /// Buffers currently posted (== pool.size()); guarded by poll_lock
+    /// after construction — growth happens on the poll path only.
+    int posted_bufs = 0;
     // Serializes pollers of this rail so completions are handled once.
     sync::SpinLock poll_lock;
-  };
-
-  /// Unexpected arrivals (no matching irecv yet).
-  struct UnexEager {
-    Tag tag = 0;
-    uint64_t seq = 0;
-    std::vector<uint8_t> data;
-  };
-  struct UnexRts {
-    Tag tag = 0;
-    uint64_t seq = 0;
-    uint64_t len = 0;
-    uint64_t raddr = 0;
   };
 
   // Wire handling (called from poll_rail).
@@ -215,30 +220,25 @@ class Gate {
   void send_ack(uint64_t pkt_seq);
   /// Send a kNack refusing the rendezvous (tag, seq) on rail 0.
   void send_nack(Tag tag, uint64_t seq);
-  /// True when `tag` falls in a revoked window. Requires lock_.
-  [[nodiscard]] bool tag_revoked(Tag tag) const;
   /// Complete + release an acknowledged, landed packet. Call WITHOUT lock_.
   void finalize_reliable_pw(PacketWrapper* pw);
 
   // Rendezvous pull: post the RDMA-Read chunks for a matched RTS.
-  void start_pull(RecvRequest& req, const UnexRts& rts);
+  void start_pull(RecvRequest& req, const RdvStub& rts);
   void finish_pull(RdvPull& pull);
 
-  /// Outcome of matching a fresh receive against staged arrivals.
-  enum class MatchResult {
-    kNone,       ///< nothing staged matches (lock still held)
-    kDelivered,  ///< matched + delivered by this gate (lock released)
-    kLost,       ///< any-source request claimed elsewhere (lock still held)
-  };
-  /// Match `req` against the unexpected eager/RTS lists. Requires lock_.
-  MatchResult match_unexpected(RecvRequest& req);
+  /// Shared tail of irecv/post_wild: try the staged unexpected arrivals
+  /// under the matcher lock, else enqueue as posted. Returns true when the
+  /// request needs no further registrations (matched, or claimed
+  /// elsewhere). Call with matcher_ UNlocked.
+  bool match_or_post(RecvRequest& req);
 
-  /// Wildcard support: take ownership of a matched expected entry. For
-  /// any-source requests this CASes the claim flag; a lost race removes
-  /// the stale entry. Call with lock_ held. True = this gate delivers.
-  bool claim_expected(RecvRequest& req);
+  /// Deliver a claimed unexpected entry (eager copy or rendezvous pull)
+  /// and recycle it. Call WITHOUT any lock.
+  void deliver_unexpected(RecvRequest& req, UnexEntry* entry);
+
   /// Remove a claimed wildcard request from every sibling gate. Must be
-  /// called WITHOUT lock_ and BEFORE completing the request.
+  /// called WITHOUT locks and BEFORE completing the request.
   static void purge_wild_siblings(RecvRequest& req, Gate* claimer);
 
   // Pending-send packing (strategy layer). Must be called WITHOUT lock_.
@@ -258,14 +258,12 @@ class Gate {
   std::vector<double> rail_bandwidths_;
   PwPool pw_pool_;
 
-  mutable sync::SpinLock lock_;  // matching + pending + rdv state
-  std::deque<RecvRequest*> expected_;
-  std::deque<UnexEager> unex_eager_;
-  std::deque<UnexRts> unex_rts_;
-  /// Revoked tag windows, (mask, value) pairs — see revoke_tags(). Grows
-  /// by one entry per dying collective epoch; never shrinks (tiny, and a
-  /// failed communicator is terminal under ULFM semantics anyway).
-  std::vector<std::pair<Tag, Tag>> revoked_;
+  /// Tag matching (posted receives, unexpected arrivals, revoked windows)
+  /// lives behind its own lock inside the matcher, so the posted-receive
+  /// fast path no longer contends with senders on lock_.
+  TagMatcher matcher_;
+
+  mutable sync::SpinLock lock_;  // pending sends + reliability + rdv state
   SendRequest* pending_head_ = nullptr;  // intrusive FIFO of deferred sends
   SendRequest* pending_tail_ = nullptr;
   std::size_t pending_count_ = 0;
@@ -284,7 +282,23 @@ class Gate {
   std::atomic<int64_t> last_heard_ns_{0};
   std::atomic<bool> peer_dead_{false};
 
-  GateStats stats_;  // protected by lock_
+  GateStats stats_;  // send-side + reliability counters, protected by lock_
+
+  /// Receive-path counters. The matcher refactor moved these paths off
+  /// lock_, so they are atomics (relaxed: monotonic counters, snapshot
+  /// consistency is not promised by stats()).
+  struct RecvStats {
+    std::atomic<uint64_t> eager_recv{0};
+    std::atomic<uint64_t> rdv_recv{0};
+    std::atomic<uint64_t> unexpected_eager{0};
+    std::atomic<uint64_t> unexpected_rts{0};
+    std::atomic<uint64_t> rts_nacked{0};
+  };
+  RecvStats recv_stats_;
+
+  /// Lazy receive-pool telemetry (updated on the poll path).
+  std::atomic<uint64_t> recv_bufs_hw_{0};
+  std::atomic<uint64_t> recv_pool_growths_{0};
 };
 
 /// Post `req` as an any-source (MPI_ANY_SOURCE) receive across `gates`

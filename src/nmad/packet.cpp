@@ -41,6 +41,7 @@ PacketWrapper* PwPool::acquire() {
     if (pw != nullptr) {
       head_ = pw->free_next;
       lock_.unlock();
+      hits_.fetch_add(1, std::memory_order_relaxed);
       pw->reset();
       return pw;
     }

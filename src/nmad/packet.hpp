@@ -71,11 +71,16 @@ class PwPool {
   [[nodiscard]] uint64_t allocated() const {
     return allocated_.load(std::memory_order_relaxed);
   }
+  /// Freelist hits (acquire() calls served without allocating).
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   sync::SpinLock lock_;
   PacketWrapper* head_ = nullptr;
   std::atomic<uint64_t> allocated_{0};
+  std::atomic<uint64_t> hits_{0};
 };
 
 }  // namespace piom::nmad

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/options.hpp"
+
 namespace piom::nmad {
 
 const char* pkt_kind_name(PktKind k) {
@@ -29,6 +31,24 @@ Session::Session(std::string name, SessionConfig config)
   }
   if (config_.pool_bufs_per_rail < 1) {
     throw std::invalid_argument("Session: need at least one pool buffer");
+  }
+  if (config_.pool_bufs_initial < 1) {
+    throw std::invalid_argument("Session: need at least one initial buffer");
+  }
+  if (config_.matcher_buckets < 1) {
+    throw std::invalid_argument("Session: need at least one matcher bucket");
+  }
+  // $PIOM_MATCHER selects the matching layout for sessions that did not
+  // pin one (benches/tests pass an explicit SessionConfig to ablate).
+  if (!config_.matcher.has_value()) {
+    const std::string m = util::env_str("PIOM_MATCHER", "bucket");
+    if (m == "scan") {
+      config_.matcher = MatcherKind::kScan;
+    } else if (m == "bucket") {
+      config_.matcher = MatcherKind::kBucket;
+    } else {
+      throw std::invalid_argument("Session: $PIOM_MATCHER must be scan|bucket");
+    }
   }
 }
 

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nmad/gate.hpp"
+#include "nmad/matcher.hpp"
 #include "nmad/strategy.hpp"
 #include "nmad/types.hpp"
 
@@ -15,8 +17,21 @@ namespace piom::nmad {
 struct SessionConfig {
   /// Messages above this size use the rendezvous protocol.
   std::size_t eager_threshold = kDefaultEagerThreshold;
-  /// Pre-posted receive buffers per rail (eager/control traffic).
+  /// Ceiling of posted receive buffers per rail (eager/control traffic).
   int pool_bufs_per_rail = 32;
+  /// Receive buffers posted per rail at gate creation (clamped to
+  /// pool_bufs_per_rail). The pool grows lazily towards the ceiling when a
+  /// poll drains every posted buffer in one sweep — so an N-rank world pays
+  /// O(N) idle-gate memory instead of O(N) x pool_bufs_per_rail x 64KiB,
+  /// and only the hot pairs warm up. Safe because both transports stage
+  /// arrivals (driver-side copy) when no buffer is posted.
+  int pool_bufs_initial = 4;
+  /// Tag-matching layout. Unset defers to $PIOM_MATCHER={bucket,scan} at
+  /// session construction, default bucket; an explicit value always wins
+  /// (bench ablations pin one regardless of environment).
+  std::optional<MatcherKind> matcher{};
+  /// Bucket count for MatcherKind::kBucket (rounded up to a power of two).
+  int matcher_buckets = 64;
   /// Reliability layer for lossy fabrics (LinkModel::drop_rate > 0): every
   /// data/control packet is acknowledged and retransmitted after `rto_us`;
   /// duplicates are filtered by packet sequence number. Send completions

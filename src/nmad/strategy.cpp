@@ -4,7 +4,14 @@
 #include <cassert>
 #include <numeric>
 
+#include "util/options.hpp"
+
 namespace piom::nmad {
+
+Strategy::Strategy(StrategyConfig config)
+    : config_(config),
+      aggregation_(config.aggregation.value_or(
+          util::env_bool("PIOM_AGGREGATION", false))) {}
 
 int Strategy::select_eager_rail(int nrails) {
   if (nrails <= 1 || !config_.eager_round_robin) return 0;
@@ -77,7 +84,7 @@ std::vector<StripeChunk> Strategy::stripe(
 }
 
 bool Strategy::should_pack(int pending_count, std::size_t bytes) const {
-  return config_.aggregation && pending_count >= 2 &&
+  return aggregation_ && pending_count >= 2 &&
          pending_count <= config_.max_pack_msgs &&
          bytes <= config_.max_pack_bytes;
 }

@@ -10,13 +10,17 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace piom::nmad {
 
 struct StrategyConfig {
-  /// Pack pending eager messages into kPack wire packets.
-  bool aggregation = false;
+  /// Pack pending eager messages into kPack wire packets. Unset (the
+  /// default) defers to $PIOM_AGGREGATION at Strategy construction (off
+  /// when the variable is absent); an explicit value always wins, so tests
+  /// pinning either behaviour survive a forced-aggregation environment.
+  std::optional<bool> aggregation{};
   /// Aggregate at most this much payload+headers per wire packet.
   std::size_t max_pack_bytes = 48 * 1024;
   /// Aggregate at most this many messages per wire packet.
@@ -43,9 +47,13 @@ struct StripeChunk {
 
 class Strategy {
  public:
-  explicit Strategy(StrategyConfig config) : config_(config) {}
+  explicit Strategy(StrategyConfig config);
 
   [[nodiscard]] const StrategyConfig& config() const { return config_; }
+
+  /// Aggregation, resolved: the config's explicit value, else
+  /// $PIOM_AGGREGATION, else off.
+  [[nodiscard]] bool aggregation() const { return aggregation_; }
 
   /// Rail for the next eager/control packet (homogeneous rails: round
   /// robin when configured, rail 0 otherwise).
@@ -68,6 +76,7 @@ class Strategy {
 
  private:
   StrategyConfig config_;
+  bool aggregation_ = false;
   std::atomic<uint32_t> rr_{0};
 };
 

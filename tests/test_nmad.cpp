@@ -3,6 +3,7 @@
 // packet-wrapper recycling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <deque>
@@ -234,7 +235,9 @@ TEST(NmadAggreg, PendingSmallSendsArePacked) {
 }
 
 TEST(NmadAggreg, NoAggregationSendsOnePacketPerMessage) {
-  NmadPair p;  // aggregation off by default
+  SessionConfig cfg;
+  cfg.strategy.aggregation = false;  // pinned: holds under $PIOM_AGGREGATION=1
+  NmadPair p(cfg);
   constexpr int kMsgs = 6;
   std::deque<SendRequest> sreqs(kMsgs);
   std::deque<RecvRequest> rreqs(kMsgs);
@@ -525,6 +528,357 @@ TEST(NmadRevoke, MaskedWindowCoversManyTags) {
   }));
   EXPECT_FALSE(outside.core.has_failed());
   EXPECT_EQ(out, big);
+}
+
+// ---------------------------------------------------- matcher equivalence
+//
+// The bucket matcher must be observationally identical to the linear scan
+// matcher it replaced: run the same randomized post/arrival interleaving
+// against both layouts and require identical outcomes per receive.
+
+struct TrialPlan {
+  struct Msg {
+    Tag tag = 0;
+    std::size_t len = 0;  ///< > eager_threshold => rendezvous
+  };
+  std::vector<Msg> msgs;
+  std::vector<Tag> recv_tags;  ///< kAnyTag entries are directed wildcards
+  std::size_t pre_post = 0;    ///< receives posted before any send
+};
+
+TrialPlan make_trial_plan(uint32_t seed) {
+  std::mt19937 rng(seed);
+  TrialPlan plan;
+  const std::size_t n = 24 + rng() % 16;
+  const std::array<Tag, 7> tags = {1, 2, 3, 5, 69, 0x42aa,
+                                   kReservedTagBase | 0x45u};
+  for (std::size_t i = 0; i < n; ++i) {
+    TrialPlan::Msg m;
+    m.tag = tags[rng() % tags.size()];
+    // Mostly small eager messages; ~20% rendezvous (above the trial's
+    // 256-byte threshold) so RTS and eager compete inside one tag.
+    m.len = (rng() % 5 == 0) ? 300 + rng() % 200 : 8 + rng() % 56;
+    plan.msgs.push_back(m);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // 70% exact receive for the i-th message's tag, 30% wildcard. The
+    // multisets need not fully drain (a wildcard can strand an exact
+    // receive, and wildcards never cover the reserved tag) — equivalence
+    // compares outcomes, not drainage.
+    plan.recv_tags.push_back(rng() % 10 < 7 ? plan.msgs[i].tag : kAnyTag);
+  }
+  std::shuffle(plan.recv_tags.begin(), plan.recv_tags.end(), rng);
+  plan.pre_post = rng() % (n + 1);
+  return plan;
+}
+
+struct RecvOutcome {
+  bool completed = false;
+  Tag matched_tag = 0;
+  uint64_t matched_seq = 0;
+  std::size_t received = 0;
+  std::vector<uint8_t> payload;
+
+  bool operator==(const RecvOutcome&) const = default;
+};
+
+std::vector<RecvOutcome> run_trial(const TrialPlan& plan, MatcherKind kind,
+                                   int buckets) {
+  SessionConfig cfg;
+  cfg.matcher = kind;
+  cfg.matcher_buckets = buckets;
+  cfg.eager_threshold = 256;
+  NmadPair p(cfg);
+  const std::size_t n = plan.msgs.size();
+  std::deque<SendRequest> sreqs(n);
+  std::deque<RecvRequest> rreqs(plan.recv_tags.size());
+  std::vector<std::vector<uint8_t>> sbufs(n);
+  std::vector<std::vector<uint8_t>> rbufs(plan.recv_tags.size());
+  std::size_t n_eager = 0;
+  std::size_t n_rdv = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sbufs[i].resize(plan.msgs[i].len);
+    for (std::size_t j = 0; j < sbufs[i].size(); ++j) {
+      sbufs[i][j] = static_cast<uint8_t>(i * 7 + j);
+    }
+    (plan.msgs[i].len > cfg.eager_threshold ? n_rdv : n_eager)++;
+  }
+  for (auto& b : rbufs) b.resize(600);
+
+  // Phase 1: pre-post a prefix of the receives (expected-path matching).
+  for (std::size_t i = 0; i < plan.pre_post; ++i) {
+    p.gb->irecv(rreqs[i], plan.recv_tags[i], rbufs[i].data(), rbufs[i].size());
+  }
+  // Phase 2: all sends, in order, on one rail — arrival order is the send
+  // order. Wait until the receiver has processed every arrival (matched or
+  // staged) so phase 3 sees a deterministic unexpected set.
+  for (std::size_t i = 0; i < n; ++i) {
+    p.ga->isend(sreqs[i], plan.msgs[i].tag, sbufs[i].data(), sbufs[i].size());
+  }
+  EXPECT_TRUE(progress_until(p.sa, p.sb, [&] {
+    const GateStats s = p.gb->stats();
+    return s.eager_recv >= n_eager && s.rdv_recv + s.unexpected_rts >= n_rdv;
+  }));
+  // Phase 3: the remaining receives hit the unexpected path.
+  for (std::size_t i = plan.pre_post; i < plan.recv_tags.size(); ++i) {
+    p.gb->irecv(rreqs[i], plan.recv_tags[i], rbufs[i].data(), rbufs[i].size());
+  }
+  // Phase 4: settle — progress until the completion count stops moving
+  // (mismatched leftovers are legitimate and must match across layouts).
+  const auto count_done = [&] {
+    std::size_t done = 0;
+    for (const RecvRequest& r : rreqs) done += r.completed() ? 1u : 0u;
+    return done;
+  };
+  std::size_t last = count_done();
+  for (int stable = 0; stable < 2;) {
+    if (progress_until(
+            p.sa, p.sb, [&] { return count_done() != last; },
+            /*timeout_ns=*/60'000'000)) {
+      last = count_done();
+      stable = 0;
+    } else {
+      ++stable;
+    }
+  }
+
+  std::vector<RecvOutcome> out(rreqs.size());
+  for (std::size_t i = 0; i < rreqs.size(); ++i) {
+    out[i].completed = rreqs[i].completed();
+    if (!out[i].completed) continue;
+    out[i].matched_tag = rreqs[i].matched_tag;
+    out[i].matched_seq = rreqs[i].matched_seq;
+    out[i].received = rreqs[i].received;
+    out[i].payload.assign(rbufs[i].begin(),
+                          rbufs[i].begin() + static_cast<std::ptrdiff_t>(
+                                                 rreqs[i].received));
+  }
+  return out;
+}
+
+TEST(NmadMatcherEquiv, BucketMatchesScanOnRandomInterleavings) {
+  for (uint32_t seed = 1; seed <= 8; ++seed) {
+    const TrialPlan plan = make_trial_plan(seed);
+    const auto reference = run_trial(plan, MatcherKind::kScan, 64);
+    // Bucket counts 1 (every tag collides) and 64 (the default) must both
+    // reproduce the scan matcher bit-for-bit.
+    for (const int buckets : {1, 64}) {
+      const auto got = run_trial(plan, MatcherKind::kBucket, buckets);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], reference[i])
+            << "seed=" << seed << " buckets=" << buckets << " recv#" << i
+            << " tag=" << plan.recv_tags[i];
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- directed matcher cases
+
+TEST(NmadMatcher, BucketCollisionKeepsTagsIndependent) {
+  // One bucket: every tag shares a chain; exact matching must still filter
+  // by tag, not take the chain head.
+  SessionConfig cfg;
+  cfg.matcher = MatcherKind::kBucket;
+  cfg.matcher_buckets = 1;
+  NmadPair p(cfg);
+  SendRequest s5, s69;
+  const char m5[] = "tag-five";
+  const char m69[] = "tag-sixty-nine";
+  p.ga->isend(s5, 5, m5, sizeof(m5));
+  p.ga->isend(s69, 69, m69, sizeof(m69));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager >= 2;
+  }));
+  char buf[64] = {};
+  RecvRequest r69;
+  p.gb->irecv(r69, 69, buf, sizeof(buf));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r69.completed(); }));
+  EXPECT_STREQ(buf, m69);
+  RecvRequest r5;
+  p.gb->irecv(r5, 5, buf, sizeof(buf));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r5.completed(); }));
+  EXPECT_STREQ(buf, m5);
+}
+
+TEST(NmadMatcher, WildcardSkipsReservedEvenInSharedBucket) {
+  // A posted kAnyTag receive must not claim reserved-space traffic even
+  // when the reserved tag hashes into the same (only) bucket, and the
+  // epoch-style tag stays matchable by an exact receive afterwards.
+  SessionConfig cfg;
+  cfg.matcher = MatcherKind::kBucket;
+  cfg.matcher_buckets = 1;
+  NmadPair p(cfg);
+  const Tag epoch_tag = kReservedTagBase | 0x1040u;
+  char wbuf[64] = {};
+  RecvRequest wild;
+  p.gb->irecv(wild, kAnyTag, wbuf, sizeof(wbuf));
+  SendRequest sres, sapp;
+  const char reserved_msg[] = "collective-round";
+  const char app_msg[] = "application";
+  p.ga->isend(sres, epoch_tag, reserved_msg, sizeof(reserved_msg));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager >= 1;  // staged, wildcard skipped
+  }));
+  EXPECT_FALSE(wild.completed());
+  p.ga->isend(sapp, 7, app_msg, sizeof(app_msg));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return wild.completed(); }));
+  EXPECT_EQ(wild.matched_tag, 7u);
+  EXPECT_STREQ(wbuf, app_msg);
+  char rbuf[64] = {};
+  RecvRequest rres;
+  p.gb->irecv(rres, epoch_tag, rbuf, sizeof(rbuf));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return rres.completed(); }));
+  EXPECT_STREQ(rbuf, reserved_msg);
+}
+
+TEST(NmadMatcher, EpochTagsDifferingAboveBucketBitsStayDistinct) {
+  // Two collective epochs whose tags agree in the low (bucket-index) bits
+  // must match their own receives — the chain filter compares full tags.
+  SessionConfig cfg;
+  cfg.matcher = MatcherKind::kBucket;
+  cfg.matcher_buckets = 64;
+  NmadPair p(cfg);
+  const Tag epoch1 = kReservedTagBase | 0x1040u;
+  const Tag epoch2 = kReservedTagBase | 0x2040u;  // same tag & 63
+  SendRequest s1, s2;
+  const char m1[] = "epoch-one";
+  const char m2[] = "epoch-two";
+  p.ga->isend(s1, epoch1, m1, sizeof(m1));
+  p.ga->isend(s2, epoch2, m2, sizeof(m2));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager >= 2;
+  }));
+  char b2[64] = {};
+  RecvRequest r2;
+  p.gb->irecv(r2, epoch2, b2, sizeof(b2));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r2.completed(); }));
+  EXPECT_STREQ(b2, m2);
+  char b1[64] = {};
+  RecvRequest r1;
+  p.gb->irecv(r1, epoch1, b1, sizeof(b1));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r1.completed(); }));
+  EXPECT_STREQ(b1, m1);
+}
+
+TEST(NmadMatcher, RevokedWindowInsideSharedBucket) {
+  // Revoking a tag window must NACK exactly the in-window staged RTS even
+  // when an out-of-window RTS shares the bucket chain.
+  SessionConfig cfg;
+  cfg.matcher = MatcherKind::kBucket;
+  cfg.matcher_buckets = 1;
+  NmadPair p(cfg);
+  std::vector<uint8_t> big(64 * 1024, 0x5a);
+  SendRequest in_window, outside;
+  p.ga->isend(in_window, /*tag=*/0x42aa, big.data(), big.size());
+  p.ga->isend(outside, /*tag=*/0x43aa, big.data(), big.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_rts >= 2;
+  }));
+  p.gb->revoke_tags(/*mask=*/0xffffff00u, /*value=*/0x4200u);
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return in_window.completed();
+  }));
+  EXPECT_TRUE(in_window.core.has_failed());
+  EXPECT_FALSE(outside.completed());
+  std::vector<uint8_t> out(big.size(), 0);
+  RecvRequest rok;
+  p.gb->irecv(rok, /*tag=*/0x43aa, out.data(), out.size());
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return outside.completed() && rok.completed();
+  }));
+  EXPECT_FALSE(outside.core.has_failed());
+  EXPECT_EQ(out, big);
+}
+
+// ------------------------------------------------- matcher observability
+
+TEST(NmadMatcherStats, CountersTrackBucketAndWildcardPaths) {
+  SessionConfig cfg;
+  cfg.matcher = MatcherKind::kBucket;
+  NmadPair p(cfg);
+  SendRequest s1, s2;
+  const char msg[] = "count me";
+  p.ga->isend(s1, 7, msg, sizeof(msg));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager >= 1;
+  }));
+  char buf[32] = {};
+  RecvRequest r1;
+  p.gb->irecv(r1, 7, buf, sizeof(buf));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r1.completed(); }));
+  GateStats gs = p.gb->stats();
+  EXPECT_GE(gs.match_bucket_hits, 1u);     // unexpected claim via the bucket
+  EXPECT_EQ(gs.match_wildcard_scans, 0u);  // no wildcard posted yet
+  EXPECT_GE(gs.unexpected_depth_hw, 1u);
+
+  p.ga->isend(s2, 9, msg, sizeof(msg));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager >= 2;
+  }));
+  RecvRequest r2;
+  p.gb->irecv(r2, kAnyTag, buf, sizeof(buf));
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] { return r2.completed(); }));
+  gs = p.gb->stats();
+  EXPECT_GE(gs.match_wildcard_scans, 1u);
+  // The second staged entry reused the first one's recycled node.
+  EXPECT_GE(gs.match_pool_hits, 1u);
+}
+
+TEST(NmadPool, RecvBuffersGrowLazilyUnderBurst) {
+  SessionConfig cfg;
+  cfg.pool_bufs_initial = 2;
+  cfg.pool_bufs_per_rail = 8;
+  // One wire packet per message, pinned: under $PIOM_AGGREGATION the burst
+  // would pack into a single packet and never outrun the posted buffers.
+  cfg.strategy.aggregation = false;
+  NmadPair p(cfg);
+  EXPECT_EQ(p.gb->stats().recv_bufs_posted_hw, 2u);
+  constexpr int kMsgs = 12;
+  std::deque<SendRequest> sreqs(kMsgs);
+  char payload[32] = "burst";
+  // Burst all sends while the receiver stays silent: the arrivals pile up
+  // (staged driver-side once the 2 posted buffers are consumed), so the
+  // receiver's first sweep drains more than its posted count and grows.
+  for (int i = 0; i < kMsgs; ++i) {
+    p.ga->isend(sreqs[static_cast<std::size_t>(i)], 3, payload,
+                sizeof(payload), /*defer=*/true);
+  }
+  p.ga->flush();
+  const int64_t deadline = util::now_ns() + 5'000'000'000;
+  while (util::now_ns() < deadline) {
+    p.sa.progress();  // sender only: eager sends complete on TX
+    bool all = true;
+    for (const SendRequest& s : sreqs) all = all && s.completed();
+    if (all) break;
+  }
+  ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+    return p.gb->stats().unexpected_eager >= kMsgs;
+  }));
+  const GateStats gs = p.gb->stats();
+  EXPECT_GE(gs.recv_pool_growths, 1u);
+  EXPECT_GT(gs.recv_bufs_posted_hw, 2u);
+  EXPECT_LE(gs.recv_bufs_posted_hw, 8u);
+}
+
+TEST(NmadPool, PwPoolCountsHitsAndMisses) {
+  NmadPair p;
+  const char msg[] = "recycled";
+  for (int i = 0; i < 20; ++i) {
+    SendRequest sreq;
+    RecvRequest rreq;
+    char buf[32] = {};
+    p.gb->irecv(rreq, 1, buf, sizeof(buf));
+    p.ga->isend(sreq, 1, msg, sizeof(msg));
+    ASSERT_TRUE(progress_until(p.sa, p.sb, [&] {
+      return sreq.completed() && rreq.completed();
+    }));
+  }
+  const GateStats gs = p.ga->stats();
+  EXPECT_GE(gs.pw_pool_hits, 10u);  // steady state runs on the freelist
+  EXPECT_LE(gs.pw_pool_misses, 8u);
+  EXPECT_EQ(gs.pw_pool_misses, p.ga->pw_allocated());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "nmad/strategy.hpp"
+#include "util/options.hpp"
 
 namespace piom::nmad {
 namespace {
@@ -148,8 +149,21 @@ TEST(Strategy, ShouldPackRespectsLimits) {
 }
 
 TEST(Strategy, ShouldPackOffWithoutAggregation) {
-  Strategy s({});  // aggregation defaults to off
+  // Pinned explicitly off (not default): the default defers to
+  // $PIOM_AGGREGATION, and this test must hold in the forced-aggregation
+  // CI pass too.
+  StrategyConfig cfg;
+  cfg.aggregation = false;
+  Strategy s(cfg);
   EXPECT_FALSE(s.should_pack(8, 100));
+}
+
+TEST(Strategy, AggregationUnsetFollowsEnvironment) {
+  StrategyConfig cfg;
+  ASSERT_FALSE(cfg.aggregation.has_value());
+  Strategy s(cfg);
+  EXPECT_EQ(s.aggregation(),
+            piom::util::env_bool("PIOM_AGGREGATION", false));
 }
 
 TEST(Strategy, EagerRailRoundRobin) {
