@@ -447,10 +447,9 @@ void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
 bool Gate::post_wild(RecvRequest& req) {
   if (req.wild_claim.load(std::memory_order_acquire) != 0) {
     // An arrival at a gate registered earlier already claimed the request
-    // (delivery may still be in flight) — stop registering. (A stale
-    // reading here is benign: the insert path under the matcher lock
-    // re-checks nothing, but an already-claimed request inserted as posted
-    // is dropped as stale by the next scan that meets it.)
+    // (delivery may still be in flight) — stop registering. This unlocked
+    // read is only a fast path; the authoritative re-check happens in
+    // match_or_post under the matcher lock.
     return true;
   }
   return match_or_post(req);
@@ -458,6 +457,20 @@ bool Gate::post_wild(RecvRequest& req) {
 
 bool Gate::match_or_post(RecvRequest& req) {
   matcher_.lock();
+  if (req.wild_gates != nullptr &&
+      req.wild_claim.load(std::memory_order_acquire) != 0) {
+    // Re-checked under the matcher lock: a sibling gate may have claimed
+    // the request and already run purge_wild_siblings past this gate (its
+    // remove_posted found nothing because we had not inserted yet). The
+    // purge's remove_posted and this check are serialized by this lock, so
+    // either our insert lands before the purge (and is removed by it) or
+    // the claim is visible here and we never insert. Without this check a
+    // stale registration would outlive the request — the owner completes
+    // and frees it — and a later scan would dereference the dangling
+    // pointer.
+    matcher_.unlock();
+    return true;
+  }
   if (peer_dead_.load(std::memory_order_acquire)) {
     // Checked under the matcher lock: fail_peer() flips the flag before
     // draining the posted structure, so a receive enqueued after its drain
@@ -689,11 +702,31 @@ void Gate::handle_pack(const PktHeader& hdr, const uint8_t* body,
   const uint8_t* p = body;
   const uint8_t* end = body + len;
   for (uint16_t i = 0; i < hdr.nmsgs; ++i) {
-    assert(p + sizeof(PackEntry) <= end);
+    // Framing is validated at runtime, like the corrupt-header drop in
+    // handle_wire: a truncated pack must not read past the packet body.
+    // Messages already unpacked stay delivered; the rest of the pack is
+    // dropped (the reliability layer acked the packet as a whole, so a
+    // corrupt pack is a bug or corruption, not a retransmit candidate).
+    if (static_cast<std::size_t>(end - p) < sizeof(PackEntry)) {
+      PIOM_LOG_ERROR(
+          "gate: dropping truncated pack (msg %u/%u, %zu bytes left, "
+          "need %zu entry header)",
+          static_cast<unsigned>(i), static_cast<unsigned>(hdr.nmsgs),
+          static_cast<std::size_t>(end - p), sizeof(PackEntry));
+      return;
+    }
     PackEntry entry;
     std::memcpy(&entry, p, sizeof(entry));
     p += sizeof(entry);
-    assert(p + entry.len <= end);
+    if (static_cast<uint64_t>(end - p) < entry.len) {
+      PIOM_LOG_ERROR(
+          "gate: dropping truncated pack payload (msg %u/%u tag=%u "
+          "len=%llu, %zu bytes left)",
+          static_cast<unsigned>(i), static_cast<unsigned>(hdr.nmsgs),
+          entry.tag, static_cast<unsigned long long>(entry.len),
+          static_cast<std::size_t>(end - p));
+      return;
+    }
     PktHeader sub;
     sub.kind = static_cast<uint8_t>(PktKind::kEager);
     sub.tag = entry.tag;
@@ -702,7 +735,6 @@ void Gate::handle_pack(const PktHeader& hdr, const uint8_t* body,
     handle_eager(sub, p);
     p += entry.len;
   }
-  (void)end;
 }
 
 void Gate::handle_rts(const PktHeader& hdr) {

@@ -300,6 +300,43 @@ TEST(NRank, AnySourceOrderHoldsOverMixedBackends) {
   for (auto& t : senders) t.join();
 }
 
+TEST(NRank, AnySourceRegistrationVsClaimRace) {
+  // Regression stress for the wildcard registration race: while rank 0 is
+  // still walking the gate list registering an any-source receive, an
+  // arrival at an earlier-registered gate may claim the request and run
+  // the sibling purge past a gate that has not inserted yet. The matcher
+  // must never leave a stale registration behind (it would dangle once the
+  // request completes and its storage is reused next iteration). Seven
+  // senders blasting a tight wildcard-recv loop over eight gates keeps the
+  // registration window busy; ASan/TSan catch the stale-node dereference.
+  constexpr int kPerSender = 64;
+  constexpr int kRanks = 8;
+  World world(nrank_config(EngineKind::kPioman, kRanks));
+  std::vector<std::thread> senders;
+  for (int s = 1; s < kRanks; ++s) {
+    senders.emplace_back([&world, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        const int32_t v = s * 1000 + i;
+        world.comm(s).send(0, 6, &v, sizeof(v));
+      }
+    });
+  }
+  std::vector<int> next(kRanks, 0);
+  for (int i = 0; i < (kRanks - 1) * kPerSender; ++i) {
+    int32_t v = -1;
+    const Status st =
+        world.comm(0).recv_status(Comm::kAnySource, 6, &v, sizeof(v));
+    ASSERT_GE(st.source, 1);
+    ASSERT_LT(st.source, kRanks);
+    EXPECT_EQ(v, st.source * 1000 + next[static_cast<std::size_t>(st.source)]);
+    ++next[static_cast<std::size_t>(st.source)];
+  }
+  for (int s = 1; s < kRanks; ++s) {
+    EXPECT_EQ(next[static_cast<std::size_t>(s)], kPerSender);
+  }
+  for (auto& t : senders) t.join();
+}
+
 TEST(NRank, ZeroAndOneByteMessagesCrossBothBackends) {
   // Striping/eager edge sizes end to end: 0-byte and 1-byte payloads over
   // a shmem pair (0-1) and a simnet pair (0-2) of the same mixed world.
