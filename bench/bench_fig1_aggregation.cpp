@@ -17,7 +17,7 @@
 
 #include "bench/common.hpp"
 #include "nmad/session.hpp"
-#include "simnet/fabric.hpp"
+#include "transport/cluster.hpp"
 #include "transport/channel.hpp"
 
 namespace {
@@ -34,13 +34,13 @@ BurstResult run_burst(const char* backend, bool aggregation, int nmsgs,
                       std::size_t msg_size, int iterations) {
   nmad::SessionConfig cfg;
   cfg.strategy.aggregation = aggregation;
-  simnet::Fabric fabric(1.0);
+  transport::Cluster cluster;
   transport::IChannel* na = nullptr;
   transport::IChannel* nb = nullptr;
   if (std::string_view(backend) == "shmem") {
-    std::tie(na, nb) = fabric.shmem().create_channel_pair("fig1.shm");
+    std::tie(na, nb) = cluster.shmem().create_channel_pair("fig1.shm");
   } else {
-    std::tie(na, nb) = fabric.create_link("rail0");
+    std::tie(na, nb) = cluster.create_sim_link("rail0", {});
   }
   nmad::Session sa("A", cfg), sb("B", cfg);
   nmad::Gate& ga = sa.create_gate({na});

@@ -29,7 +29,7 @@
 #include "bench/common.hpp"
 #include "nmad/request.hpp"
 #include "nmad/session.hpp"
-#include "simnet/fabric.hpp"
+#include "transport/cluster.hpp"
 #include "transport/channel.hpp"
 
 namespace {
@@ -52,8 +52,8 @@ RateResult run_rate(nmad::MatcherKind matcher, bool aggregation,
   nmad::SessionConfig cfg;
   cfg.matcher = matcher;
   cfg.strategy.aggregation = aggregation;
-  simnet::Fabric fabric(1.0);
-  auto [ca, cb] = fabric.shmem().create_channel_pair("msgrate.shm");
+  transport::Cluster cluster;
+  auto [ca, cb] = cluster.shmem().create_channel_pair("msgrate.shm");
   nmad::Session sa("a", cfg), sb("b", cfg);
   nmad::Gate& ga = sa.create_gate({ca});
   nmad::Gate& gb = sb.create_gate({cb});

@@ -1,14 +1,15 @@
-// Transport-backend comparison: shmem vs simnet vs hybrid on the two axes
-// the strategy layer selects rails by — small-message latency (ping-pong/2)
-// and large-message bandwidth (rendezvous pull). The shmem fast path has no
-// NIC instruction round-trip and no modelled wire, so it should beat the
-// NIC model by orders of magnitude on latency and track host memcpy speed
-// on bandwidth; the hybrid gate must land at (or above) the better rail on
-// both axes, proving the heterogeneous rail selection + striping works.
+// Socket-backend comparison: tcp (real 127.0.0.1 stream sockets) vs uds
+// (Unix-domain) vs the in-process shmem reference, on the two axes the
+// strategy layer selects rails by — small-message latency (ping-pong/2)
+// and large-message bandwidth (rendezvous pull). Expected shape: uds beats
+// tcp on latency (no inet stack), both socket backends sit far above shmem
+// latency (two syscalls per hop), and socket bandwidth lands within the
+// kernel's copy throughput — the honest cost of leaving the address space.
 //
-// Single-threaded caller-driven pumping: both gates live in this process,
-// so driving progress from one loop keeps the numbers scheduler-noise-free
-// on small hosts (see bench/README.md caveats).
+// Both endpoints live in this process on two independent TcpTransports
+// (two epoll pumps), the same shape two piom_launch ranks have; only the
+// address space is shared. Single-threaded caller-driven pumping keeps the
+// numbers scheduler-noise-free (see bench/README.md caveats).
 //
 // --quick shrinks the iteration counts; --json <path> records the
 // BENCH_*.json layout.
@@ -19,35 +20,35 @@
 #include "bench/common.hpp"
 #include "nmad/request.hpp"
 #include "nmad/session.hpp"
-#include "transport/cluster.hpp"
 #include "transport/channel.hpp"
-#include "transport/shmem.hpp"
+#include "transport/cluster.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/tcp.hpp"
 
 namespace {
-
-using piom::transport::PairWiring;
 
 struct Endpoints {
   piom::nmad::Gate* a = nullptr;
   piom::nmad::Gate* b = nullptr;
 };
 
-/// One connected gate pair wired per `wiring` on a fresh cluster.
+constexpr const char* kBackends[] = {"tcp", "uds", "shmem"};
+
+/// One connected single-rail gate pair per backend name.
 Endpoints make_endpoints(piom::transport::Cluster& cluster,
                          piom::nmad::Session& sa, piom::nmad::Session& sb,
-                         PairWiring wiring) {
-  std::vector<piom::transport::IChannel*> rails_a, rails_b;
-  if (wiring != PairWiring::kSimnet) {
-    auto [x, y] = cluster.shmem().create_channel_pair("bench.shm");
-    rails_a.push_back(x);
-    rails_b.push_back(y);
+                         const std::string& backend) {
+  piom::transport::IChannel* x = nullptr;
+  piom::transport::IChannel* y = nullptr;
+  if (backend == "shmem") {
+    std::tie(x, y) = cluster.shmem().create_channel_pair("bench.shm");
+  } else {
+    std::tie(x, y) = piom::transport::TcpTransport::create_loopback_pair(
+        cluster.tcp_node(0), cluster.tcp_node(1), "bench.sock",
+        backend == "tcp" ? piom::transport::Endpoint::Scheme::kTcp
+                         : piom::transport::Endpoint::Scheme::kUds);
   }
-  if (wiring != PairWiring::kShmem) {
-    auto [x, y] = cluster.create_sim_link("bench.nic", {});
-    rails_a.push_back(x);
-    rails_b.push_back(y);
-  }
-  return {&sa.create_gate(rails_a), &sb.create_gate(rails_b)};
+  return {&sa.create_gate({x}), &sb.create_gate({y})};
 }
 
 void pump_until(piom::nmad::Gate& ga, piom::nmad::Gate& gb,
@@ -100,9 +101,6 @@ double measure_bandwidth_MBps(Endpoints ep, std::size_t bytes,
          (static_cast<double>(dt) * 1e-9);
 }
 
-constexpr PairWiring kWirings[] = {PairWiring::kSimnet, PairWiring::kShmem,
-                                   PairWiring::kHybrid};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,34 +109,31 @@ int main(int argc, char** argv) {
   const int bw_iters = quick ? 4 : 16;
   const std::vector<std::size_t> lat_sizes = {8, 256, 4096};
   const std::vector<std::size_t> bw_sizes = {256u << 10, 4u << 20};
-  piom::bench::JsonReport report("bench_table_shmem", argc, argv);
+  piom::bench::JsonReport report("bench_table_tcp", argc, argv);
 
   std::printf(
-      "=== transport backends — latency / bandwidth per rail wiring ===\n"
-      "expected shape: shmem crushes the NIC model on latency (no wire,\n"
-      "no engine round-trip) and tracks host memcpy on bandwidth; hybrid\n"
-      "matches the better rail on each axis (rail selection + striping)\n\n");
+      "=== socket backends — latency / bandwidth per channel type ===\n"
+      "expected shape: uds beats tcp on latency (no inet stack), both sit\n"
+      "far above shmem (syscalls per hop); socket bandwidth tracks kernel\n"
+      "copy throughput — the cost of leaving the address space\n\n");
 
   const int label_w = 16, cell_w = 14;
   {
-    std::vector<std::string> header = {"simnet", "shmem", "hybrid"};
+    std::vector<std::string> header = {"tcp", "uds", "shmem"};
     piom::bench::print_row("latency (us)", header, label_w, cell_w);
   }
   for (const std::size_t bytes : lat_sizes) {
     std::vector<std::string> cells;
     report.row().str("test", "latency").num("bytes",
                                             static_cast<double>(bytes));
-    for (const PairWiring wiring : kWirings) {
+    for (const char* backend : kBackends) {
       piom::transport::Cluster cluster;
       piom::nmad::SessionConfig config;
-      config.strategy.stripe_min_chunk = 64 * 1024;
       piom::nmad::Session sa("a", config), sb("b", config);
       const double us = measure_latency_us(
-          make_endpoints(cluster, sa, sb, wiring), bytes, lat_iters);
+          make_endpoints(cluster, sa, sb, backend), bytes, lat_iters);
       cells.push_back(piom::bench::fmt_us(us));
-      report.num(std::string(piom::transport::pair_wiring_name(wiring)) +
-                     "_us",
-                 us);
+      report.num(std::string(backend) + "_us", us);
     }
     piom::bench::print_row(std::to_string(bytes) + " B", cells, label_w,
                            cell_w);
@@ -146,24 +141,21 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   {
-    std::vector<std::string> header = {"simnet", "shmem", "hybrid"};
+    std::vector<std::string> header = {"tcp", "uds", "shmem"};
     piom::bench::print_row("bandwidth (MB/s)", header, label_w, cell_w);
   }
   for (const std::size_t bytes : bw_sizes) {
     std::vector<std::string> cells;
     report.row().str("test", "bandwidth").num("bytes",
                                               static_cast<double>(bytes));
-    for (const PairWiring wiring : kWirings) {
+    for (const char* backend : kBackends) {
       piom::transport::Cluster cluster;
       piom::nmad::SessionConfig config;
-      config.strategy.stripe_min_chunk = 64 * 1024;
       piom::nmad::Session sa("a", config), sb("b", config);
       const double mbps = measure_bandwidth_MBps(
-          make_endpoints(cluster, sa, sb, wiring), bytes, bw_iters);
+          make_endpoints(cluster, sa, sb, backend), bytes, bw_iters);
       cells.push_back(piom::bench::fmt_us(mbps, 0));
-      report.num(std::string(piom::transport::pair_wiring_name(wiring)) +
-                     "_MBps",
-                 mbps);
+      report.num(std::string(backend) + "_MBps", mbps);
     }
     piom::bench::print_row(std::to_string(bytes >> 10) + " KiB", cells,
                            label_w, cell_w);

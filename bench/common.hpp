@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/timing.hpp"
@@ -30,7 +31,7 @@ inline void pin_self(int cpu) {
 /// counts so `for b in build/bench/*; do $b; done` stays fast.
 inline bool quick_mode(int argc, char** argv) {
   return util::arg_flag(argc, argv, "quick") ||
-         util::env_bool("PIOM_BENCH_QUICK", false);
+         util::env::boolean("PIOM_BENCH_QUICK", false);
 }
 
 /// Print one table row: label column then fixed-width numeric cells.

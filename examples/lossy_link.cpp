@@ -14,11 +14,11 @@
 using namespace piom;
 
 int main() {
-  simnet::Fabric fabric(0.2);  // 5x compressed time
+  transport::Cluster cluster(transport::ClusterConfig{0.2});  // 5x compressed
   simnet::LinkModel lossy;
   lossy.drop_rate = 0.20;
   lossy.latency_us = 50;  // a long, bad link
-  auto [na, nb] = fabric.create_link("wan", lossy);
+  auto [na, nb] = cluster.create_sim_link("wan", lossy);
 
   nmad::SessionConfig cfg;
   cfg.reliable = true;

@@ -61,12 +61,12 @@ int main() {
   // Heterogeneous rails: the strategy splits proportionally to bandwidth.
   std::printf("\nheterogeneous rails (manual setup): 1.25 GB/s + 2.5 GB/s\n");
   {
-    simnet::Fabric fabric(1.0);
+    transport::Cluster cluster;
     simnet::LinkModel slow;  // defaults: 1.25 GB/s
     simnet::LinkModel fast = slow;
     fast.bandwidth_GBps = 2.5;
-    auto [a0, b0] = fabric.create_link("slow", slow);
-    auto [a1, b1] = fabric.create_link("fast", fast);
+    auto [a0, b0] = cluster.create_sim_link("slow", slow);
+    auto [a1, b1] = cluster.create_sim_link("fast", fast);
     nmad::SessionConfig scfg;
     scfg.strategy.multirail_stripe = true;
     scfg.strategy.stripe_min_chunk = 64 * 1024;

@@ -16,13 +16,7 @@ Status Comm::recv_status(int src, Tag tag, void* buf, std::size_t cap) {
   Request req;
   irecv(req, src, tag, buf, cap);
   wait(req);
-  Status st;
-  st.bytes = req.recv_req().received;
-  st.tag = req.recv_req().matched_tag;
-  st.source = req.recv_req().source;
-  st.peer_failed = req.failed();
-  if (st.peer_failed) st.bytes = 0;  // error completion delivers nothing
-  return st;
+  return req.status();
 }
 
 void Comm::sendrecv(int send_dst, Tag send_tag, const void* send_buf,

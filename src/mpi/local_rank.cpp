@@ -1,0 +1,98 @@
+#include "mpi/local_rank.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "mpi/engine_globallock.hpp"
+#include "mpi/world.hpp"
+
+namespace piom::mpi {
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kPioman: return "pioman";
+    case EngineKind::kMvapichLike: return "mvapich-like";
+    case EngineKind::kOpenMpiLike: return "openmpi-like";
+  }
+  return "?";
+}
+
+LocalRank::LocalRank(
+    int rank, int nranks,
+    const std::vector<std::vector<transport::IChannel*>>& rails_by_peer,
+    const RankConfig& config)
+    : rank_(rank), nranks_(nranks) {
+  if (nranks < 2) throw std::invalid_argument("LocalRank: nranks >= 2");
+  if (rank < 0 || rank >= nranks) {
+    throw std::invalid_argument("LocalRank: rank out of range");
+  }
+  if (rails_by_peer.size() != static_cast<std::size_t>(nranks)) {
+    throw std::invalid_argument(
+        "LocalRank: rails_by_peer must have one entry per rank");
+  }
+  init(rails_by_peer, config);
+}
+
+LocalRank::LocalRank(transport::Bootstrap bootstrap, const RankConfig& config)
+    : rank_(bootstrap.rank()),
+      nranks_(bootstrap.nranks()),
+      bootstrap_(std::make_unique<transport::Bootstrap>(std::move(bootstrap))) {
+  std::vector<std::vector<transport::IChannel*>> rails(
+      static_cast<std::size_t>(nranks_));
+  for (int peer = 0; peer < nranks_; ++peer) {
+    if (peer == rank_) continue;
+    rails[static_cast<std::size_t>(peer)] = {
+        bootstrap_->channels()[static_cast<std::size_t>(peer)]};
+  }
+  init(rails, config);
+}
+
+void LocalRank::init(
+    const std::vector<std::vector<transport::IChannel*>>& rails_by_peer,
+    const RankConfig& config) {
+  session_ = std::make_unique<nmad::Session>(
+      "rank" + std::to_string(rank_), config.session);
+  // One gate per peer, indexed by peer rank for Comm routing.
+  std::vector<nmad::Gate*> gates(static_cast<std::size_t>(nranks_), nullptr);
+  for (int peer = 0; peer < nranks_; ++peer) {
+    if (peer == rank_) continue;
+    gates[static_cast<std::size_t>(peer)] = &session_->create_gate(
+        rails_by_peer[static_cast<std::size_t>(peer)], peer);
+  }
+  switch (config.engine) {
+    case EngineKind::kPioman: {
+      auto engine = std::make_unique<PiomanEngine>(*session_, config.pioman);
+      engine->start_progress();
+      engine_ = std::move(engine);
+      break;
+    }
+    case EngineKind::kMvapichLike: {
+      GlobalLockEngineConfig glc;
+      glc.label = "mvapich-like";
+      glc.yield_in_wait = false;
+      engine_ = std::make_unique<GlobalLockEngine>(*session_, glc);
+      break;
+    }
+    case EngineKind::kOpenMpiLike: {
+      GlobalLockEngineConfig glc;
+      glc.label = "openmpi-like";
+      glc.yield_in_wait = true;
+      engine_ = std::make_unique<GlobalLockEngine>(*session_, glc);
+      break;
+    }
+  }
+  if (config.failure.enabled) {
+    detector_ = std::make_unique<FailureDetector>(*session_, rank_, nranks_,
+                                                  config.failure);
+    engine_->attach_detector(detector_.get());
+  }
+  comm_.reset(new Comm(rank_, engine_.get(), std::move(gates)));
+}
+
+LocalRank::~LocalRank() { shutdown(); }
+
+void LocalRank::shutdown() {
+  if (engine_) engine_->shutdown();
+}
+
+}  // namespace piom::mpi

@@ -10,6 +10,19 @@ namespace piom::mpi {
 
 using Tag = nmad::Tag;
 
+/// Completion information (MPI_Status equivalent), valid once the request
+/// that produced it is done(). Obtain via Request::status() or the
+/// blocking Comm::recv_status().
+struct Status {
+  Tag tag = 0;            ///< actual tag (useful with kAnyTag)
+  int source = -1;        ///< actual source rank (useful with kAnySource)
+  std::size_t bytes = 0;  ///< payload bytes delivered
+  /// The operation error-completed because its peer was declared failed
+  /// (MPI_ERR_PROC_FAILED equivalent): no payload; on receives `source`
+  /// names the failed rank the request was parked on.
+  bool peer_failed = false;
+};
+
 class Request {
  public:
   Request() = default;
@@ -33,6 +46,25 @@ class Request {
 
   /// Bytes delivered by a completed receive.
   [[nodiscard]] std::size_t received() const { return recv_.received; }
+
+  /// Completion information, valid once done() (identical on all three
+  /// engines: everything is read from the embedded nmad request, which
+  /// every engine populates on its match/complete paths). Receives report
+  /// the matched tag/source and delivered bytes; sends report the posted
+  /// tag and length. An error completion zeroes `bytes`.
+  [[nodiscard]] Status status() const {
+    Status st;
+    st.peer_failed = failed();
+    if (is_send_) {
+      st.tag = send_.tag;
+      st.bytes = st.peer_failed ? 0 : send_.len;
+    } else {
+      st.tag = recv_.matched_tag;
+      st.source = recv_.source;
+      st.bytes = st.peer_failed ? 0 : recv_.received;
+    }
+    return st;
+  }
 
   // -- engine-internal access --
   nmad::SendRequest& send_req() { return send_; }

@@ -2,18 +2,9 @@
 
 #include <stdexcept>
 
-#include "mpi/engine_globallock.hpp"
+#include "mpi/local_rank.hpp"
 
 namespace piom::mpi {
-
-const char* engine_kind_name(EngineKind k) {
-  switch (k) {
-    case EngineKind::kPioman: return "pioman";
-    case EngineKind::kMvapichLike: return "mvapich-like";
-    case EngineKind::kOpenMpiLike: return "openmpi-like";
-  }
-  return "?";
-}
 
 std::vector<int> rank_nodes_from_machine(const topo::Machine& machine,
                                          int nranks) {
@@ -44,87 +35,39 @@ World::World(WorldConfig config) : config_(config) {
   const transport::BackendPolicy policy =
       config_.policy.node_of.empty() ? transport::BackendPolicy::from_env(n)
                                      : config_.policy;
-  fabric_ = std::make_unique<simnet::Fabric>(config_.time_scale,
-                                             config_.shmem);
+  transport::ClusterConfig cc;
+  cc.time_scale = config_.time_scale;
+  cc.shmem = config_.shmem;
+  cc.tcp = config_.tcp;
+  cluster_ = std::make_unique<transport::Cluster>(cc);
   // Full-mesh wiring: every rank pair gets its policy-selected channels
-  // (`rails` dedicated NIC links, a shmem fast path, or both).
-  const simnet::Fabric::MeshWiring mesh = fabric_->create_full_mesh(
-      n, config_.rails, config_.link, "link", policy);
+  // (`rails` dedicated NIC links, a shmem fast path, a socket, or a mix).
+  mesh_ = cluster_->create_full_mesh(n, config_.rails, config_.link, "link",
+                                     policy);
 
-  sessions_.resize(static_cast<std::size_t>(n));
-  engines_.resize(static_cast<std::size_t>(n));
-  comms_.resize(static_cast<std::size_t>(n));
+  RankConfig rc;
+  rc.engine = config_.engine;
+  rc.session = config_.session;
+  rc.pioman = config_.pioman;
+  rc.failure = config_.failure;
+  ranks_.reserve(static_cast<std::size_t>(n));
   for (int rank = 0; rank < n; ++rank) {
-    sessions_[static_cast<std::size_t>(rank)] = std::make_unique<nmad::Session>(
-        "rank" + std::to_string(rank), config_.session);
-  }
-  // One gate per peer per session, indexed by peer rank for Comm routing.
-  std::vector<std::vector<nmad::Gate*>> gates_by_rank(
-      static_cast<std::size_t>(n),
-      std::vector<nmad::Gate*>(static_cast<std::size_t>(n), nullptr));
-  for (int rank = 0; rank < n; ++rank) {
-    for (int peer = 0; peer < n; ++peer) {
-      if (peer == rank) continue;
-      gates_by_rank[static_cast<std::size_t>(rank)]
-                   [static_cast<std::size_t>(peer)] =
-          &sessions_[static_cast<std::size_t>(rank)]->create_gate(
-              mesh[static_cast<std::size_t>(rank)]
-                  [static_cast<std::size_t>(peer)],
-              peer);
-    }
-  }
-
-  for (int rank = 0; rank < n; ++rank) {
-    auto& session = *sessions_[static_cast<std::size_t>(rank)];
-    switch (config_.engine) {
-      case EngineKind::kPioman: {
-        auto engine = std::make_unique<PiomanEngine>(session, config_.pioman);
-        engine->start_progress();
-        engines_[static_cast<std::size_t>(rank)] = std::move(engine);
-        break;
-      }
-      case EngineKind::kMvapichLike: {
-        GlobalLockEngineConfig glc;
-        glc.label = "mvapich-like";
-        glc.yield_in_wait = false;
-        engines_[static_cast<std::size_t>(rank)] =
-            std::make_unique<GlobalLockEngine>(session, glc);
-        break;
-      }
-      case EngineKind::kOpenMpiLike: {
-        GlobalLockEngineConfig glc;
-        glc.label = "openmpi-like";
-        glc.yield_in_wait = true;
-        engines_[static_cast<std::size_t>(rank)] =
-            std::make_unique<GlobalLockEngine>(session, glc);
-        break;
-      }
-    }
-  }
-  if (config_.failure.enabled) {
-    detectors_.resize(static_cast<std::size_t>(n));
-    for (int rank = 0; rank < n; ++rank) {
-      detectors_[static_cast<std::size_t>(rank)] =
-          std::make_unique<FailureDetector>(
-              *sessions_[static_cast<std::size_t>(rank)], rank, n,
-              config_.failure);
-      engines_[static_cast<std::size_t>(rank)]->attach_detector(
-          detectors_[static_cast<std::size_t>(rank)].get());
-    }
-  }
-  for (int rank = 0; rank < n; ++rank) {
-    comms_[static_cast<std::size_t>(rank)].reset(
-        new Comm(rank, engines_[static_cast<std::size_t>(rank)].get(),
-                 std::move(gates_by_rank[static_cast<std::size_t>(rank)])));
+    ranks_.push_back(std::make_unique<LocalRank>(
+        rank, n, mesh_[static_cast<std::size_t>(rank)], rc));
   }
 }
 
 World::~World() { shutdown(); }
 
 void World::shutdown() {
-  for (auto& engine : engines_) {
-    if (engine) engine->shutdown();
+  for (auto& rank : ranks_) {
+    if (rank) rank->shutdown();
   }
+}
+
+std::unique_ptr<LocalRank> World::local(transport::Bootstrap bootstrap,
+                                        const RankConfig& config) {
+  return std::make_unique<LocalRank>(std::move(bootstrap), config);
 }
 
 void World::check_rank(int rank, const char* who) const {
@@ -136,28 +79,39 @@ void World::check_rank(int rank, const char* who) const {
 
 Comm& World::comm(int rank) {
   check_rank(rank, "World::comm");
-  return *comms_[static_cast<std::size_t>(rank)];
+  return ranks_[static_cast<std::size_t>(rank)]->comm();
+}
+
+LocalRank& World::local_rank(int rank) {
+  check_rank(rank, "World::local_rank");
+  return *ranks_[static_cast<std::size_t>(rank)];
+}
+
+const std::vector<transport::IChannel*>& World::pair_channels(
+    int rank, int peer) const {
+  check_rank(rank, "World::pair_channels");
+  check_rank(peer, "World::pair_channels");
+  return mesh_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(peer)];
 }
 
 Engine& World::engine(int rank) {
   check_rank(rank, "World::engine");
-  return *engines_[static_cast<std::size_t>(rank)];
+  return ranks_[static_cast<std::size_t>(rank)]->engine();
 }
 
 nmad::Session& World::session(int rank) {
   check_rank(rank, "World::session");
-  return *sessions_[static_cast<std::size_t>(rank)];
+  return ranks_[static_cast<std::size_t>(rank)]->session();
 }
 
 FailureDetector* World::detector(int rank) {
   check_rank(rank, "World::detector");
-  if (detectors_.empty()) return nullptr;
-  return detectors_[static_cast<std::size_t>(rank)].get();
+  return ranks_[static_cast<std::size_t>(rank)]->detector();
 }
 
 void World::kill_rank(int victim) {
   check_rank(victim, "World::kill_rank");
-  if (detectors_.empty()) {
+  if (!config_.failure.enabled) {
     throw std::logic_error(
         "World::kill_rank: needs WorldConfig::failure.enabled (without a "
         "detector, peers of the dead rank would hang forever)");
@@ -167,7 +121,7 @@ void World::kill_rank(int victim) {
   // covers the full cut. Severing (not deleting) keeps every buffer and
   // queue alive — in-flight operations drain through the channels' severed
   // paths instead of crashing, exactly like NIC ports going dark.
-  nmad::Session& session = *sessions_[static_cast<std::size_t>(victim)];
+  nmad::Session& session = ranks_[static_cast<std::size_t>(victim)]->session();
   for (std::size_t g = 0; g < session.gate_count(); ++g) {
     nmad::Gate& gate = session.gate(g);
     for (int r = 0; r < gate.nrails(); ++r) {

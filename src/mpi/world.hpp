@@ -21,23 +21,13 @@
 
 #include "mpi/coll.hpp"
 #include "mpi/engine.hpp"
-#include "mpi/engine_pioman.hpp"
-#include "mpi/failure.hpp"
-#include "nmad/session.hpp"
-#include "simnet/fabric.hpp"
+#include "mpi/local_rank.hpp"
+#include "mpi/request.hpp"
 #include "topo/machine.hpp"
 #include "transport/channel.hpp"
-#include "transport/shmem.hpp"
+#include "transport/cluster.hpp"
 
 namespace piom::mpi {
-
-enum class EngineKind {
-  kPioman,       ///< MAD-MPI: nmad + PIOMan background progression
-  kMvapichLike,  ///< global lock, caller-driven progress, hard spin
-  kOpenMpiLike,  ///< global lock, caller-driven progress, yielding spin
-};
-
-[[nodiscard]] const char* engine_kind_name(EngineKind k);
 
 struct WorldConfig {
   EngineKind engine = EngineKind::kPioman;
@@ -58,6 +48,8 @@ struct WorldConfig {
   transport::BackendPolicy policy{};
   /// Intra-node channel tuning (ring depth, modelled latency).
   transport::ShmemConfig shmem{};
+  /// Socket channel tuning (advertised rail properties, timeouts).
+  transport::TcpConfig tcp{};
   /// Heartbeat failure detection (off by default — see mpi/failure.hpp for
   /// why caller-driven engines make it opt-in). When enabled, every rank
   /// gets a FailureDetector ticked from its engine's progress paths.
@@ -86,11 +78,31 @@ class World {
 
   [[nodiscard]] int nranks() const { return config_.nranks; }
   [[nodiscard]] const WorldConfig& config() const { return config_; }
-  [[nodiscard]] simnet::Fabric& fabric() { return *fabric_; }
+  /// The multi-backend transport owner (simnet + shmem + sockets).
+  [[nodiscard]] transport::Cluster& cluster() { return *cluster_; }
+  /// Factory face of one backend (neutral ITransport view — nothing
+  /// outside the simnet tests needs to name simnet::Fabric).
+  [[nodiscard]] transport::ITransport& transport(transport::Backend b) {
+    return cluster_->transport(b);
+  }
+  /// Rail channels `rank` owns towards `peer` (rail 0 first). The per-pair
+  /// IChannel view fault tests and benches use instead of digging through
+  /// the fabric.
+  [[nodiscard]] const std::vector<transport::IChannel*>& pair_channels(
+      int rank, int peer) const;
+  /// Rank-local pieces (each rank is a LocalRank; see mpi/local_rank.hpp).
+  [[nodiscard]] LocalRank& local_rank(int rank);
   [[nodiscard]] Engine& engine(int rank);
   [[nodiscard]] nmad::Session& session(int rank);
   /// `rank`'s failure detector; null unless WorldConfig::failure.enabled.
   [[nodiscard]] FailureDetector* detector(int rank);
+
+  /// Multi-process entry point: build THIS process's single rank from a
+  /// completed Bootstrap (rank/nranks come from it). The World class
+  /// itself stays in-process — a cluster of OS processes is N processes
+  /// each holding one LocalRank, launched by tools/piom_launch.
+  [[nodiscard]] static std::unique_ptr<LocalRank> local(
+      transport::Bootstrap bootstrap, const RankConfig& config = {});
 
   /// Fault injection: sever both directions of every channel `victim`
   /// owns, exactly as if its node lost power mid-run. Survivors' detectors
@@ -109,22 +121,11 @@ class World {
   void check_rank(int rank, const char* who) const;
 
   WorldConfig config_;
-  std::unique_ptr<simnet::Fabric> fabric_;
-  std::vector<std::unique_ptr<nmad::Session>> sessions_;
-  std::vector<std::unique_ptr<Engine>> engines_;
-  std::vector<std::unique_ptr<FailureDetector>> detectors_;
-  std::vector<std::unique_ptr<Comm>> comms_;
-};
-
-/// Completion information for a receive (MPI_Status equivalent).
-struct Status {
-  Tag tag = 0;            ///< actual tag (useful with kAnyTag)
-  int source = -1;        ///< actual source rank (useful with kAnySource)
-  std::size_t bytes = 0;  ///< payload bytes delivered
-  /// The receive error-completed because its peer was declared failed
-  /// (MPI_ERR_PROC_FAILED equivalent): no payload; `source` names the
-  /// failed rank the request was parked on.
-  bool peer_failed = false;
+  // The cluster (all channels) must outlive every rank's session: ranks_
+  // is declared after cluster_/mesh_ so it is destroyed first.
+  std::unique_ptr<transport::Cluster> cluster_;
+  transport::Cluster::MeshWiring mesh_;
+  std::vector<std::unique_ptr<LocalRank>> ranks_;
 };
 
 /// Per-rank MPI-like interface: N ranks, reliable, tag- and source-matched.
@@ -266,6 +267,7 @@ class Comm {
 
  private:
   friend class World;
+  friend class LocalRank;  // constructs its rank's Comm
   friend class CollOp;  // posts reserved-tag rounds through the _reserved paths
   Comm(int rank, Engine* engine, std::vector<nmad::Gate*> gates)
       : rank_(rank), engine_(engine), gates_(std::move(gates)) {}

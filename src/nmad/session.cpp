@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "util/options.hpp"
+#include "util/env.hpp"
 
 namespace piom::nmad {
 
@@ -41,7 +41,7 @@ Session::Session(std::string name, SessionConfig config)
   // $PIOM_MATCHER selects the matching layout for sessions that did not
   // pin one (benches/tests pass an explicit SessionConfig to ablate).
   if (!config_.matcher.has_value()) {
-    const std::string m = util::env_str("PIOM_MATCHER", "bucket");
+    const std::string m = util::env::str("PIOM_MATCHER", "bucket");
     if (m == "scan") {
       config_.matcher = MatcherKind::kScan;
     } else if (m == "bucket") {
@@ -60,7 +60,7 @@ Gate& Session::create_gate(std::vector<transport::IChannel*> rails,
     throw std::invalid_argument("Session::create_gate: no rails");
   }
   for (transport::IChannel* ch : rails) {
-    if (ch == nullptr || ch->peer() == nullptr) {
+    if (ch == nullptr || !ch->connected()) {
       throw std::invalid_argument(
           "Session::create_gate: rail channel missing or unconnected");
     }

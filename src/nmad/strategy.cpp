@@ -4,14 +4,14 @@
 #include <cassert>
 #include <numeric>
 
-#include "util/options.hpp"
+#include "util/env.hpp"
 
 namespace piom::nmad {
 
 Strategy::Strategy(StrategyConfig config)
     : config_(config),
       aggregation_(config.aggregation.value_or(
-          util::env_bool("PIOM_AGGREGATION", false))) {}
+          util::env::boolean("PIOM_AGGREGATION", false))) {}
 
 int Strategy::select_eager_rail(int nrails) {
   if (nrails <= 1 || !config_.eager_round_robin) return 0;

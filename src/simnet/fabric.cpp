@@ -4,8 +4,7 @@
 
 namespace piom::simnet {
 
-Fabric::Fabric(double time_scale, transport::ShmemConfig shmem)
-    : time_scale_(time_scale), shmem_(shmem) {
+Fabric::Fabric(double time_scale) : time_scale_(time_scale) {
   if (time_scale <= 0) {
     throw std::invalid_argument("Fabric: time_scale must be positive");
   }
@@ -44,47 +43,6 @@ std::pair<Nic*, Nic*> Fabric::create_link(const std::string& name,
   Nic& b = create_nic(name + ".b", link);
   connect(a, b);
   return {&a, &b};
-}
-
-Fabric::MeshWiring Fabric::create_full_mesh(
-    int nodes, int rails_per_pair, const LinkModel& link,
-    const std::string& prefix, const transport::BackendPolicy& policy) {
-  if (nodes < 2) {
-    throw std::invalid_argument("Fabric::create_full_mesh: nodes >= 2");
-  }
-  if (rails_per_pair < 1) {
-    throw std::invalid_argument("Fabric::create_full_mesh: rails >= 1");
-  }
-  policy.validate(nodes);  // reject malformed policies before wiring anything
-  MeshWiring mesh(static_cast<std::size_t>(nodes));
-  for (auto& row : mesh) row.resize(static_cast<std::size_t>(nodes));
-  for (int i = 0; i < nodes; ++i) {
-    for (int j = i + 1; j < nodes; ++j) {
-      const std::string pair_name =
-          prefix + "." + std::to_string(i) + "-" + std::to_string(j);
-      auto& fwd =
-          mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      auto& rev =
-          mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
-      const transport::PairWiring wiring = policy.wiring(i, j);
-      if (wiring != transport::PairWiring::kSimnet) {
-        // The shmem fast path is rail 0: the strategy layer sends eager
-        // and control traffic on the lowest-latency rail.
-        auto [a, b] = shmem_.create_channel_pair(pair_name + ".shm");
-        fwd.push_back(a);
-        rev.push_back(b);
-      }
-      if (wiring != transport::PairWiring::kShmem) {
-        for (int r = 0; r < rails_per_pair; ++r) {
-          auto [a, b] =
-              create_link(pair_name + ".r" + std::to_string(r), link);
-          fwd.push_back(a);
-          rev.push_back(b);
-        }
-      }
-    }
-  }
-  return mesh;
 }
 
 }  // namespace piom::simnet

@@ -1,13 +1,12 @@
 // Fabric: owner of the simulated interconnect in one process — the NIC
-// model ("simnet" backend, one engine thread per NIC) plus an intra-node
-// shared-memory transport ("shmem" backend) for rank pairs that a
-// BackendPolicy places on the same node.
+// model ("simnet" backend, one engine thread per NIC).
 //
 // A Fabric stands for "the interconnect between the cluster nodes". Create
 // NICs, connect them pairwise (one link = one NIC pair), and hand each side
 // to a communication library instance. Multirail = one node holding several
-// connected channels towards the same peer (possibly of different
-// backends); a cluster = one full mesh of links (see create_full_mesh).
+// connected channels towards the same peer. Multi-backend construction
+// (shmem fast paths, socket channels, full meshes) lives one layer up in
+// transport::Cluster — a Fabric is purely the NIC model.
 #pragma once
 
 #include <memory>
@@ -18,16 +17,14 @@
 #include "simnet/link_model.hpp"
 #include "simnet/nic.hpp"
 #include "transport/channel.hpp"
-#include "transport/shmem.hpp"
 
 namespace piom::simnet {
 
 class Fabric final : public transport::ITransport {
  public:
   /// `time_scale` multiplies every modelled delay (1.0 = realistic ns;
-  /// tests may use <1 for speed, >1 to magnify protocol effects). `shmem`
-  /// configures the intra-node channels a mesh policy may request.
-  explicit Fabric(double time_scale = 1.0, transport::ShmemConfig shmem = {});
+  /// tests may use <1 for speed, >1 to magnify protocol effects).
+  explicit Fabric(double time_scale = 1.0);
   ~Fabric() override;
 
   Fabric(const Fabric&) = delete;
@@ -63,36 +60,13 @@ class Fabric final : public transport::ITransport {
   std::pair<Nic*, Nic*> create_link(const std::string& name,
                                     const LinkModel& link = {});
 
-  // ---- mesh construction (multi-backend) ----
-
-  /// mesh[i][j] = node i's rail channels towards node j (empty when i == j).
-  using MeshWiring =
-      std::vector<std::vector<std::vector<transport::IChannel*>>>;
-
-  /// Wire `nodes` cluster nodes into a full mesh. `policy` decides each
-  /// unordered pair's wiring:
-  ///   * kSimnet — `rails_per_pair` dedicated NIC links over `link`, named
-  ///     "<prefix>.<i>-<j>.r<k>.{a,b}" (a = lower rank's side);
-  ///   * kShmem  — one shared-memory channel, "<prefix>.<i>-<j>.shm.{a,b}";
-  ///   * kHybrid — the shmem channel as rail 0, then the NIC rails.
-  /// The result satisfies mesh[i][j][k]->peer() == mesh[j][i][k]. Requires
-  /// nodes >= 2, rails_per_pair >= 1 and a well-formed policy (validated
-  /// before anything is created; throws std::invalid_argument otherwise).
-  MeshWiring create_full_mesh(int nodes, int rails_per_pair,
-                              const LinkModel& link = {},
-                              const std::string& prefix = "mesh",
-                              const transport::BackendPolicy& policy = {});
-
   [[nodiscard]] double time_scale() const { return time_scale_; }
   [[nodiscard]] std::size_t nic_count() const { return nics_.size(); }
-  /// The intra-node backend owned by this fabric (meshes draw from it).
-  [[nodiscard]] transport::ShmemTransport& shmem() { return shmem_; }
 
  private:
   double time_scale_;
   LinkModel default_link_{};
   std::vector<std::unique_ptr<Nic>> nics_;
-  transport::ShmemTransport shmem_;
 };
 
 }  // namespace piom::simnet

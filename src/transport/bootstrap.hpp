@@ -1,0 +1,78 @@
+// Bootstrap: rendezvous wiring for ranks that live in separate OS
+// processes. Every rank creates a socket data listener, then exchanges the
+// resulting endpoint table out-of-band through rank 0:
+//
+//     rank 0                           rank r (r > 0)
+//     Bootstrap::root(n, listen)       Bootstrap::join(r, root_addr)
+//       listen on root_addr              connect to root_addr (retrying —
+//       accept n-1 joiners               processes start in any order)
+//       collect {rank, data URI}         send {r, data URI}
+//       broadcast the full table         receive the full table
+//       connect_mesh(0, table)           connect_mesh(r, table)
+//
+// The control plane is plain blocking sockets, used once and closed; the
+// data plane is the TcpTransport event loop (transport/tcp.hpp). The
+// Bootstrap owns that transport — keep it alive as long as the channels
+// are in use (mpi::LocalRank holds it for exactly that reason).
+//
+// Data listener addresses are derived from the root address: a uds root
+// "uds:///tmp/x.sock" puts rank r's data listener at /tmp/x.sock.r<r>; a
+// tcp root uses an ephemeral port on the same host.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/endpoint.hpp"
+#include "transport/tcp.hpp"
+
+namespace piom::transport {
+
+class Bootstrap {
+ public:
+  /// Rank 0: listen on `listen_addr` (tcp:// or uds://), gather the other
+  /// nranks-1 ranks, broadcast the endpoint table, wire the data mesh.
+  /// Blocking; throws std::runtime_error on timeout or protocol garbage.
+  static Bootstrap root(int nranks, const Endpoint& listen_addr,
+                        TcpConfig config = {});
+  /// Rank r > 0: join the cluster rooted at `root_addr`.
+  static Bootstrap join(int rank, const Endpoint& root_addr,
+                        TcpConfig config = {});
+  /// From $PIOM_RANK / $PIOM_NRANKS / $PIOM_ROOT_ADDR — the environment
+  /// piom_launch exports into every spawned rank.
+  static Bootstrap from_env(TcpConfig config = {});
+
+  Bootstrap(Bootstrap&&) = default;
+  Bootstrap& operator=(Bootstrap&&) = default;
+  Bootstrap(const Bootstrap&) = delete;
+  Bootstrap& operator=(const Bootstrap&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  /// The data-plane transport (pump it, or let channel polls do it).
+  [[nodiscard]] TcpTransport& transport() { return *transport_; }
+  /// Per-peer data channels indexed by peer rank; the self slot is null.
+  [[nodiscard]] const std::vector<IChannel*>& channels() const {
+    return channels_;
+  }
+  /// Everyone's advertised data endpoints (index = rank).
+  [[nodiscard]] const std::vector<Endpoint>& table() const { return table_; }
+
+ private:
+  Bootstrap(int rank, int nranks, std::unique_ptr<TcpTransport> transport,
+            std::vector<Endpoint> table, std::vector<IChannel*> channels)
+      : rank_(rank),
+        nranks_(nranks),
+        transport_(std::move(transport)),
+        table_(std::move(table)),
+        channels_(std::move(channels)) {}
+
+  int rank_;
+  int nranks_;
+  std::unique_ptr<TcpTransport> transport_;
+  std::vector<Endpoint> table_;
+  std::vector<IChannel*> channels_;
+};
+
+}  // namespace piom::transport

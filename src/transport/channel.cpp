@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "util/options.hpp"
+#include "util/env.hpp"
 
 namespace piom::transport {
 
@@ -10,6 +10,7 @@ const char* backend_name(Backend b) {
   switch (b) {
     case Backend::kSimnet: return "simnet";
     case Backend::kShmem: return "shmem";
+    case Backend::kTcp: return "tcp";
   }
   return "?";
 }
@@ -19,6 +20,8 @@ const char* pair_wiring_name(PairWiring w) {
     case PairWiring::kSimnet: return "simnet";
     case PairWiring::kShmem: return "shmem";
     case PairWiring::kHybrid: return "hybrid";
+    case PairWiring::kTcp: return "tcp";
+    case PairWiring::kUds: return "uds";
   }
   return "?";
 }
@@ -47,16 +50,16 @@ void BackendPolicy::validate(int nranks) const {
       throw std::invalid_argument("BackendPolicy: negative node id");
     }
   }
-  if (inter != PairWiring::kSimnet) {
+  if (inter == PairWiring::kShmem || inter == PairWiring::kHybrid) {
     throw std::invalid_argument(
         "BackendPolicy: shared memory does not cross nodes (inter-node "
-        "pairs must be wired kSimnet)");
+        "pairs must be wired kSimnet, kTcp or kUds)");
   }
 }
 
 BackendPolicy BackendPolicy::from_env(int nranks) {
   BackendPolicy policy;
-  const std::string value = util::env_str("PIOM_TRANSPORT", "simnet");
+  const std::string value = util::env::str("PIOM_TRANSPORT", "simnet");
   if (value == "simnet") {
     return policy;  // empty node_of: every pair inter-node -> NIC
   }
@@ -66,7 +69,14 @@ BackendPolicy BackendPolicy::from_env(int nranks) {
         value == "shmem" ? PairWiring::kShmem : PairWiring::kHybrid;
     return policy;
   }
-  std::string msg = "PIOM_TRANSPORT must be 'simnet', 'shmem' or 'hybrid', ";
+  if (value == "tcp" || value == "uds") {
+    // Sockets work across nodes: leave node_of empty and wire every pair
+    // through `inter`.
+    policy.inter = value == "tcp" ? PairWiring::kTcp : PairWiring::kUds;
+    return policy;
+  }
+  std::string msg =
+      "PIOM_TRANSPORT must be 'simnet', 'shmem', 'hybrid', 'tcp' or 'uds', ";
   msg += "got '";
   msg += value;
   msg += "'";

@@ -25,6 +25,10 @@ namespace piom::transport {
 enum class Backend : uint8_t {
   kSimnet = 0,  ///< modelled cluster NIC (simnet::Nic)
   kShmem = 1,   ///< intra-node shared-memory ring pair (ShmemChannel)
+  /// Nonblocking sockets — TCP inter-node, Unix-domain same-host — behind
+  /// the same interface (transport::TcpChannel): the backend that lets
+  /// ranks live in separate OS processes.
+  kTcp = 2,
 };
 
 [[nodiscard]] const char* backend_name(Backend b);
@@ -62,8 +66,15 @@ class IChannel {
 
   [[nodiscard]] virtual Backend backend() const = 0;
   [[nodiscard]] virtual const std::string& name() const = 0;
-  /// The connected remote endpoint (nullptr while unconnected).
+  /// The connected remote endpoint — nullptr when unconnected OR when the
+  /// remote end lives in another process (socket channels). Test
+  /// `connected()` for "usable", not `peer() != nullptr`.
   [[nodiscard]] virtual IChannel* peer() const = 0;
+  /// True once the channel can carry traffic. In-process backends are
+  /// connected exactly when they have a peer endpoint; cross-process
+  /// socket channels are connected from construction (the fd handshake
+  /// happened before the channel object existed).
+  [[nodiscard]] virtual bool connected() const { return peer() != nullptr; }
 
   /// Post a message send. `buf` must stay valid until the kSend completion
   /// for `wrid` is polled (transfer is zero-copy: the backend reads the
@@ -137,12 +148,15 @@ enum class PairWiring : uint8_t {
   /// Heterogeneous rails: rail 0 is the shmem fast path, rails 1..k are the
   /// NIC rails — eager traffic rides rail 0, bulk stripes across all.
   kHybrid = 2,
+  kTcp = 3,  ///< one TCP socket channel (loopback sockets in-process)
+  kUds = 4,  ///< one Unix-domain socket channel
 };
 
 [[nodiscard]] const char* pair_wiring_name(PairWiring w);
 
-/// Per-pair backend selection for Fabric::create_full_mesh: ranks placed on
-/// the same node talk over `intra`, ranks on different nodes over `inter`.
+/// Per-pair backend selection for a full mesh (transport::Cluster): ranks
+/// placed on the same node talk over `intra`, ranks on different nodes
+/// over `inter`.
 struct BackendPolicy {
   /// node_of[rank] = node hosting the rank (ids >= 0, need not be dense).
   /// Empty: every rank on its own node — unless $PIOM_TRANSPORT overrides
@@ -156,14 +170,18 @@ struct BackendPolicy {
 
   /// Throws std::invalid_argument on malformed policies: node_of size not
   /// matching `nranks` (when non-empty), negative node ids, or shared
-  /// memory requested across nodes (inter must be kSimnet).
+  /// memory requested across nodes — `inter` must be a wiring that really
+  /// crosses nodes (kSimnet, kTcp or kUds; never kShmem/kHybrid).
   void validate(int nranks) const;
 
   /// Policy for an `nranks` mesh honouring $PIOM_TRANSPORT:
   ///   unset / "simnet" — every pair over the NIC model (the default);
   ///   "shmem"          — every rank on one node, pairs pure shmem;
-  ///   "hybrid"         — every rank on one node, shmem + NIC rails.
-  /// Throws std::invalid_argument on any other value.
+  ///   "hybrid"         — every rank on one node, shmem + NIC rails;
+  ///   "tcp"            — every pair over a TCP loopback socket;
+  ///   "uds"            — every pair over a Unix-domain socket.
+  /// Throws std::invalid_argument on any other value (a whole suite run on
+  /// the wrong backend is worse than refusing to run).
   [[nodiscard]] static BackendPolicy from_env(int nranks);
 };
 

@@ -1,0 +1,102 @@
+#include "transport/cluster.hpp"
+
+#include <stdexcept>
+
+namespace piom::transport {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      fabric_(config.time_scale),
+      shmem_(config.shmem) {}
+
+ITransport& Cluster::transport(Backend backend) {
+  switch (backend) {
+    case Backend::kSimnet: return fabric_;
+    case Backend::kShmem: return shmem_;
+    case Backend::kTcp: return tcp_node(0);
+  }
+  throw std::invalid_argument("Cluster::transport: unknown backend");
+}
+
+TcpTransport& Cluster::tcp_node(int node) {
+  if (node < 0) {
+    throw std::invalid_argument("Cluster::tcp_node: negative node");
+  }
+  const auto idx = static_cast<std::size_t>(node);
+  if (idx >= tcp_nodes_.size()) tcp_nodes_.resize(idx + 1);
+  if (!tcp_nodes_[idx]) {
+    tcp_nodes_[idx] = std::make_unique<TcpTransport>(config_.tcp);
+  }
+  return *tcp_nodes_[idx];
+}
+
+std::pair<IChannel*, IChannel*> Cluster::create_pair(Backend backend,
+                                                     const std::string& name) {
+  switch (backend) {
+    case Backend::kSimnet: return fabric_.create_channel_pair(name);
+    case Backend::kShmem: return shmem_.create_channel_pair(name);
+    case Backend::kTcp:
+      // Two distinct nodes, so each endpoint pumps its own event loop —
+      // the honest shape for "two ranks talking over a socket".
+      return TcpTransport::create_loopback_pair(
+          tcp_node(0), tcp_node(1), name, Endpoint::Scheme::kUds);
+  }
+  throw std::invalid_argument("Cluster::create_pair: unknown backend");
+}
+
+std::pair<IChannel*, IChannel*> Cluster::create_sim_link(
+    const std::string& name, const simnet::LinkModel& link) {
+  return fabric_.create_link(name, link);
+}
+
+Cluster::MeshWiring Cluster::create_full_mesh(
+    int nodes, int rails_per_pair, const simnet::LinkModel& link,
+    const std::string& prefix, const BackendPolicy& policy) {
+  if (nodes < 2) {
+    throw std::invalid_argument("Cluster::create_full_mesh: nodes >= 2");
+  }
+  if (rails_per_pair < 1) {
+    throw std::invalid_argument("Cluster::create_full_mesh: rails >= 1");
+  }
+  policy.validate(nodes);  // reject malformed policies before wiring anything
+  MeshWiring mesh(static_cast<std::size_t>(nodes));
+  for (auto& row : mesh) row.resize(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = i + 1; j < nodes; ++j) {
+      const std::string pair_name =
+          prefix + "." + std::to_string(i) + "-" + std::to_string(j);
+      auto& fwd =
+          mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      auto& rev =
+          mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      const PairWiring wiring = policy.wiring(i, j);
+      if (wiring == PairWiring::kTcp || wiring == PairWiring::kUds) {
+        auto [a, b] = TcpTransport::create_loopback_pair(
+            tcp_node(i), tcp_node(j), pair_name + ".sock",
+            wiring == PairWiring::kTcp ? Endpoint::Scheme::kTcp
+                                       : Endpoint::Scheme::kUds);
+        fwd.push_back(a);
+        rev.push_back(b);
+        continue;
+      }
+      if (wiring != PairWiring::kSimnet) {
+        // The shmem fast path is rail 0: the strategy layer sends eager
+        // and control traffic on the lowest-latency rail.
+        auto [a, b] = shmem_.create_channel_pair(pair_name + ".shm");
+        fwd.push_back(a);
+        rev.push_back(b);
+      }
+      if (wiring != PairWiring::kShmem) {
+        for (int r = 0; r < rails_per_pair; ++r) {
+          auto [a, b] = fabric_.create_link(
+              pair_name + ".r" + std::to_string(r), link);
+          fwd.push_back(a);
+          rev.push_back(b);
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+}  // namespace piom::transport

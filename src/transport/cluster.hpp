@@ -1,0 +1,94 @@
+// Cluster: the multi-backend transport owner for one process — the neutral
+// factory tests, benchmarks and mpi::World program against, so nothing
+// outside the simnet tests has to name a concrete transport type.
+//
+// One Cluster owns:
+//   * a simnet::Fabric        — the modelled NIC interconnect ("simnet");
+//   * a ShmemTransport        — the intra-node fast path ("shmem");
+//   * per-node TcpTransports  — socket channels ("tcp"/"uds"), one event
+//     loop per in-process "rank" so each side pumps its own epoll set,
+//     the same shape a real multi-process rank has (see Bootstrap).
+//
+// create_full_mesh() wires N cluster nodes pairwise following a
+// BackendPolicy — the per-pair wiring that used to live on simnet::Fabric,
+// now covering the socket backends too.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "simnet/link_model.hpp"
+#include "transport/channel.hpp"
+#include "transport/shmem.hpp"
+#include "transport/tcp.hpp"
+
+namespace piom::transport {
+
+struct ClusterConfig {
+  /// Multiplies every modelled simnet delay (see simnet::Fabric).
+  double time_scale = 1.0;
+  ShmemConfig shmem{};
+  TcpConfig tcp{};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ---- backend access (ITransport faces) ----
+
+  /// The factory for `backend` (kTcp resolves to node 0's transport).
+  [[nodiscard]] ITransport& transport(Backend backend);
+  [[nodiscard]] simnet::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] ShmemTransport& shmem() { return shmem_; }
+  /// Socket transport of in-process "rank" `node` (created on first use).
+  /// Each node owns its own event loop, so loopback socket pairs really
+  /// exercise two independent pumps.
+  [[nodiscard]] TcpTransport& tcp_node(int node);
+
+  // ---- neutral channel factories ----
+
+  /// Connected pair "<name>.a"/"<name>.b" on `backend` (socket pairs land
+  /// on two distinct tcp nodes, one endpoint each).
+  std::pair<IChannel*, IChannel*> create_pair(Backend backend,
+                                              const std::string& name);
+  /// Simnet pair over an explicit link model (drop rate, latency...).
+  std::pair<IChannel*, IChannel*> create_sim_link(
+      const std::string& name, const simnet::LinkModel& link);
+
+  // ---- mesh construction ----
+
+  /// mesh[i][j] = node i's rail channels towards node j (empty when i == j).
+  using MeshWiring = std::vector<std::vector<std::vector<IChannel*>>>;
+
+  /// Wire `nodes` cluster nodes into a full mesh. `policy` decides each
+  /// unordered pair's wiring:
+  ///   * kSimnet — `rails_per_pair` NIC links over `link`, named
+  ///     "<prefix>.<i>-<j>.r<k>.{a,b}" (a = lower rank's side);
+  ///   * kShmem  — one shared-memory channel, "<prefix>.<i>-<j>.shm.{a,b}";
+  ///   * kHybrid — the shmem channel as rail 0, then the NIC rails;
+  ///   * kTcp / kUds — one socket channel, "<prefix>.<i>-<j>.sock.{a,b}",
+  ///     each endpoint on its own node's transport (rails_per_pair does
+  ///     not multiply sockets: one connection per pair, like real TCP).
+  /// The result satisfies mesh[i][j][k]->peer() == mesh[j][i][k]. Requires
+  /// nodes >= 2, rails_per_pair >= 1 and a well-formed policy (validated
+  /// before anything is created; throws std::invalid_argument otherwise).
+  MeshWiring create_full_mesh(int nodes, int rails_per_pair,
+                              const simnet::LinkModel& link = {},
+                              const std::string& prefix = "mesh",
+                              const BackendPolicy& policy = {});
+
+ private:
+  ClusterConfig config_;
+  simnet::Fabric fabric_;
+  ShmemTransport shmem_;
+  std::vector<std::unique_ptr<TcpTransport>> tcp_nodes_;
+};
+
+}  // namespace piom::transport

@@ -1,0 +1,92 @@
+#include "transport/endpoint.hpp"
+
+#include <stdexcept>
+
+namespace piom::transport {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& uri, const char* why) {
+  std::string msg = "Endpoint::parse('";
+  msg += uri;
+  msg += "'): ";
+  msg += why;
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+const char* scheme_name(Endpoint::Scheme s) {
+  switch (s) {
+    case Endpoint::Scheme::kTcp: return "tcp";
+    case Endpoint::Scheme::kUds: return "uds";
+    case Endpoint::Scheme::kShmem: return "shmem";
+    case Endpoint::Scheme::kSim: return "sim";
+  }
+  return "?";
+}
+
+Endpoint Endpoint::parse(const std::string& uri) {
+  const std::size_t sep = uri.find("://");
+  if (sep == std::string::npos) {
+    bad(uri, "expected '<scheme>://...' (tcp, uds, shmem or sim)");
+  }
+  const std::string scheme = uri.substr(0, sep);
+  const std::string rest = uri.substr(sep + 3);
+  Endpoint e;
+  if (scheme == "tcp") {
+    e.scheme = Scheme::kTcp;
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      bad(uri, "tcp needs 'tcp://host:port'");
+    }
+    e.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    if (port.empty()) bad(uri, "empty port");
+    std::size_t pos = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(port, &pos, 10);
+    } catch (const std::exception&) {
+      bad(uri, "port is not a number");
+    }
+    if (pos != port.size()) bad(uri, "port is not a number");
+    if (value > 65535) bad(uri, "port out of range");
+    e.port = static_cast<uint16_t>(value);
+    return e;
+  }
+  if (scheme == "uds") {
+    e.scheme = Scheme::kUds;
+    // "uds:///tmp/x" -> rest is "/tmp/x"; a relative path would silently
+    // depend on each rank's cwd, so reject it.
+    if (rest.empty() || rest[0] != '/') {
+      bad(uri, "uds needs an absolute path: 'uds:///path'");
+    }
+    e.path = rest;
+    return e;
+  }
+  if (scheme == "shmem" || scheme == "sim") {
+    e.scheme = scheme == "shmem" ? Scheme::kShmem : Scheme::kSim;
+    if (!rest.empty()) bad(uri, "this scheme takes no address");
+    return e;
+  }
+  bad(uri, "unknown scheme (tcp, uds, shmem or sim)");
+}
+
+std::string Endpoint::uri() const {
+  std::string out = scheme_name(scheme);
+  out += "://";
+  switch (scheme) {
+    case Scheme::kTcp:
+      out += host;
+      out += ':';
+      out += std::to_string(port);
+      break;
+    case Scheme::kUds: out += path; break;
+    case Scheme::kShmem:
+    case Scheme::kSim: break;
+  }
+  return out;
+}
+
+}  // namespace piom::transport

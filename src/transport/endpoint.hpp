@@ -1,0 +1,57 @@
+// Endpoint: the transport-addressing half of the backend API. Everything a
+// process needs to reach a rank is one URI string:
+//
+//   tcp://host:port   — TCP socket (inter-node; port 0 = ephemeral)
+//   uds:///path       — Unix-domain socket (same-host processes)
+//   shmem://          — intra-process shared-memory rings (no address)
+//   sim://            — the modelled simnet NIC (no address)
+//
+// The socket schemes are real listen/connect addresses (Bootstrap exchanges
+// them out-of-band); shmem:// and sim:// only name in-process backends so
+// policy code can speak one vocabulary for all four.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace piom::transport {
+
+struct Endpoint {
+  enum class Scheme : uint8_t { kTcp, kUds, kShmem, kSim };
+
+  Scheme scheme = Scheme::kSim;
+  std::string host;   ///< tcp only
+  uint16_t port = 0;  ///< tcp only (0 = let the kernel pick)
+  std::string path;   ///< uds only (absolute filesystem path)
+
+  /// Parse a URI. Throws std::invalid_argument on junk: unknown scheme,
+  /// missing host/port, non-numeric or out-of-range port, relative or
+  /// empty uds path, address where none is allowed.
+  [[nodiscard]] static Endpoint parse(const std::string& uri);
+
+  /// Canonical URI string (round-trips through parse()).
+  [[nodiscard]] std::string uri() const;
+
+  /// True for the schemes that name a real socket address.
+  [[nodiscard]] bool is_socket() const {
+    return scheme == Scheme::kTcp || scheme == Scheme::kUds;
+  }
+
+  [[nodiscard]] static Endpoint tcp(std::string host, uint16_t port) {
+    Endpoint e;
+    e.scheme = Scheme::kTcp;
+    e.host = std::move(host);
+    e.port = port;
+    return e;
+  }
+  [[nodiscard]] static Endpoint uds(std::string path) {
+    Endpoint e;
+    e.scheme = Scheme::kUds;
+    e.path = std::move(path);
+    return e;
+  }
+};
+
+[[nodiscard]] const char* scheme_name(Endpoint::Scheme s);
+
+}  // namespace piom::transport

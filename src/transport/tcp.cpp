@@ -1,0 +1,1013 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "sync/backoff.hpp"
+#include "util/log.hpp"
+
+namespace piom::transport {
+
+namespace {
+
+constexpr int kIovBatch = 16;   ///< frames coalesced per sendmsg
+constexpr int kMaxEvents = 64;  ///< poller events handled per pump
+
+/// Setup-time hello, sent raw (outside channel framing) right after a data
+/// connection is established, so accept() can tell which rank connected.
+struct Hello {
+  uint32_t magic = 0x70696f6d;  // "piom"
+  uint32_t rank = 0;
+};
+
+[[noreturn]] void sys_fail(const char* what) {
+  std::string msg = "tcp transport: ";
+  msg += what;
+  msg += ": ";
+  msg += std::strerror(errno);
+  throw std::runtime_error(msg);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Eager latency rides small frames; Nagle would batch them with the ACK
+  // clock. Failure is non-fatal (some socket types reject the option).
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocking write of exactly `len` bytes (setup path only).
+void write_full(int fd, const void* buf, std::size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("setup write");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Blocking read of exactly `len` bytes with a deadline (setup path only).
+void read_full(int fd, void* buf, std::size_t len, int64_t deadline_ms) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int64_t left = deadline_ms - now_ms();
+    if (left <= 0) throw std::runtime_error("tcp transport: setup read timeout");
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left < 100 ? left : 100));
+    if (pr < 0 && errno != EINTR) sys_fail("setup poll");
+    if (pr <= 0) continue;
+    const ssize_t n = ::read(fd, p, len);
+    if (n == 0) throw std::runtime_error("tcp transport: peer closed during setup");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      sys_fail("setup read");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+sockaddr_in make_inet_addr(const std::string& host, uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &sa.sin_addr) != 1) {
+    throw std::invalid_argument("tcp transport: host must be a numeric IPv4 "
+                                "address (got '" + host + "')");
+  }
+  return sa;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw std::invalid_argument("tcp transport: uds path too long: " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- channel
+
+TcpChannel::TcpChannel(TcpTransport& owner, std::string name, int fd,
+                       bool uds)
+    : owner_(owner), name_(std::move(name)), fd_(fd), uds_(uds) {}
+
+TcpChannel::~TcpChannel() { ::close(fd_); }
+
+double TcpChannel::bandwidth_GBps() const {
+  return owner_.config_.bandwidth_GBps;
+}
+
+double TcpChannel::latency_us() const {
+  return uds_ ? owner_.config_.uds_latency_us : owner_.config_.tcp_latency_us;
+}
+
+void TcpChannel::post_send(const void* buf, std::size_t len, uint64_t wrid) {
+  if (len > owner_.config_.max_frame_bytes || len > UINT32_MAX) {
+    throw std::invalid_argument("TcpChannel::post_send: frame too large");
+  }
+  if (severed()) {
+    // Drop-model drain: complete without touching the wire (or `buf`).
+    {
+      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      ++stats_.packets_dropped;
+    }
+    std::lock_guard<sync::SpinLock> g(tx_lock_);
+    tx_cq_.push_back(Completion{Completion::Kind::kSend, wrid, len, false});
+    tx_cq_size_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  SendOp op{};
+  FrameHeader hdr;
+  hdr.len = static_cast<uint32_t>(len);
+  hdr.kind = static_cast<uint8_t>(FrameKind::kData);
+  std::memcpy(op.head, &hdr, sizeof(hdr));
+  op.head_len = sizeof(hdr);
+  op.payload = buf;
+  op.payload_len = len;
+  op.wrid = wrid;
+  op.completes_send = true;
+  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  txq_.push_back(op);
+  tx_pending_.fetch_add(1, std::memory_order_release);
+  tx_data_backlog_.fetch_add(1, std::memory_order_release);
+  flush_tx_locked();  // opportunistic: small frames leave immediately
+}
+
+void TcpChannel::drain_staged_locked() {
+  while (!staged_.empty() && !rx_descs_.empty()) {
+    std::vector<uint8_t> data = std::move(staged_.front());
+    staged_.pop_front();
+    const RecvDesc d = rx_descs_.front();
+    rx_descs_.pop_front();
+    const std::size_t n = data.size() < d.cap ? data.size() : d.cap;
+    if (n > 0) std::memcpy(d.buf, data.data(), n);
+    rx_cq_.push_back(Completion{Completion::Kind::kRecv, d.wrid, n, false});
+    rx_cq_size_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void TcpChannel::post_recv(void* buf, std::size_t cap, uint64_t wrid) {
+  std::lock_guard<sync::SpinLock> g(rx_lock_);
+  if (!staged_.empty()) {
+    // A frame arrived before this buffer was posted: deliver the staged
+    // copy now (same late-post semantics as the NIC model and shmem).
+    std::vector<uint8_t> data = std::move(staged_.front());
+    staged_.pop_front();
+    const std::size_t n = data.size() < cap ? data.size() : cap;
+    if (n > 0) std::memcpy(buf, data.data(), n);
+    rx_cq_.push_back(Completion{Completion::Kind::kRecv, wrid, n, false});
+    rx_cq_size_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  rx_descs_.push_back(RecvDesc{buf, cap, wrid});
+}
+
+void TcpChannel::post_rdma_read(void* local, const void* remote,
+                                std::size_t len, uint64_t wrid) {
+  if (severed()) {
+    std::lock_guard<sync::SpinLock> g(tx_lock_);
+    tx_cq_.push_back(Completion{Completion::Kind::kRdmaRead, wrid, 0, true});
+    tx_cq_size_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  const uint64_t req_id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<sync::SpinLock> g(rx_lock_);
+    pending_rdma_[req_id] = PendingRdma{local, len, wrid};
+    pending_rdma_count_.fetch_add(1, std::memory_order_release);
+  }
+  SendOp op{};
+  FrameHeader hdr;
+  hdr.len = sizeof(RdmaReqMeta);
+  hdr.kind = static_cast<uint8_t>(FrameKind::kRdmaReq);
+  RdmaReqMeta meta;
+  meta.req_id = req_id;
+  meta.raddr = reinterpret_cast<uint64_t>(remote);
+  meta.len = len;
+  std::memcpy(op.head, &hdr, sizeof(hdr));
+  std::memcpy(op.head + sizeof(hdr), &meta, sizeof(meta));
+  op.head_len = sizeof(hdr) + sizeof(meta);
+  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  txq_.push_back(op);
+  tx_pending_.fetch_add(1, std::memory_order_release);
+  flush_tx_locked();
+}
+
+void TcpChannel::complete_data_send_locked(const SendOp& op) {
+  tx_cq_.push_back(
+      Completion{Completion::Kind::kSend, op.wrid, op.payload_len, false});
+  tx_cq_size_.fetch_add(1, std::memory_order_release);
+}
+
+int TcpChannel::flush_tx() {
+  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  return flush_tx_locked();
+}
+
+int TcpChannel::flush_tx_locked() {
+  int events = 0;
+  const bool is_dead = dead_.load(std::memory_order_acquire);
+  const bool is_severed = severed_.load(std::memory_order_acquire);
+  if (is_dead || is_severed) {
+    // Drain without writing — except: a partially-written frame must be
+    // finished (dropping half a frame would desync the peer's parser),
+    // and a merely-severed endpoint still sends queued kRdmaResp frames
+    // (teardown NACKs keep a live peer's read from hanging forever).
+    std::deque<SendOp> keep;
+    std::size_t dropped = 0;
+    for (SendOp& op : txq_) {
+      const bool is_resp =
+          op.head[4] == static_cast<uint8_t>(FrameKind::kRdmaResp);
+      if (!is_dead && (op.written > 0 || is_resp)) {
+        keep.push_back(op);
+        continue;
+      }
+      if (op.completes_send) {
+        complete_data_send_locked(op);
+        tx_data_backlog_.fetch_sub(1, std::memory_order_release);
+        ++dropped;
+        ++events;
+      }
+    }
+    txq_.swap(keep);
+    tx_pending_.store(txq_.size(), std::memory_order_release);
+    if (dropped > 0) {
+      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      stats_.packets_dropped += dropped;
+    }
+    if (is_dead || txq_.empty()) return events;
+  }
+  while (!txq_.empty()) {
+    iovec iov[kIovBatch];
+    int cnt = 0;
+    for (const SendOp& op : txq_) {
+      if (cnt + 2 > kIovBatch) break;
+      const std::size_t head_done =
+          op.written < op.head_len ? op.written : op.head_len;
+      if (op.head_len - head_done > 0) {
+        iov[cnt].iov_base = const_cast<uint8_t*>(op.head) + head_done;
+        iov[cnt].iov_len = op.head_len - head_done;
+        ++cnt;
+      }
+      const std::size_t pay_done =
+          op.written > op.head_len ? op.written - op.head_len : 0;
+      if (op.payload_len - pay_done > 0) {
+        iov[cnt].iov_base =
+            const_cast<uint8_t*>(static_cast<const uint8_t*>(op.payload)) +
+            pay_done;
+        iov[cnt].iov_len = op.payload_len - pay_done;
+        ++cnt;
+      }
+    }
+    if (cnt == 0) break;
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(cnt);
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      dead_.store(true, std::memory_order_release);
+      events += flush_tx_locked();  // re-enter: the dead branch drains
+      break;
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    std::size_t requested = 0;
+    for (int i = 0; i < cnt; ++i) requested += iov[i].iov_len;
+    while (left > 0 && !txq_.empty()) {
+      SendOp& front = txq_.front();
+      const std::size_t total = front.head_len + front.payload_len;
+      const std::size_t take =
+          left < total - front.written ? left : total - front.written;
+      front.written += take;
+      left -= take;
+      if (front.written == total) {
+        if (front.completes_send) {
+          complete_data_send_locked(front);
+          tx_data_backlog_.fetch_sub(1, std::memory_order_release);
+          std::lock_guard<sync::SpinLock> s(stats_lock_);
+          ++stats_.packets_tx;
+          stats_.bytes_tx += front.payload_len;
+        }
+        txq_.pop_front();
+        tx_pending_.fetch_sub(1, std::memory_order_release);
+        ++events;
+      }
+    }
+    if (static_cast<std::size_t>(n) < requested) break;  // kernel buffer full
+  }
+  return events;
+}
+
+void TcpChannel::sever() {
+  severed_.store(true, std::memory_order_release);
+  drain_disconnected();
+}
+
+void TcpChannel::mark_dead() {
+  dead_.store(true, std::memory_order_release);
+  drain_disconnected();
+}
+
+void TcpChannel::drain_disconnected() {
+  // Fail this side's outstanding RDMA reads (their responses will never
+  // arrive, or would be NACKed anyway), then drain the send queue.
+  std::vector<Completion> fails;
+  {
+    std::lock_guard<sync::SpinLock> g(rx_lock_);
+    for (const auto& entry : pending_rdma_) {
+      fails.push_back(Completion{Completion::Kind::kRdmaRead,
+                                 entry.second.wrid, 0, true});
+    }
+    pending_rdma_.clear();
+    pending_rdma_count_.store(0, std::memory_order_release);
+  }
+  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  for (const Completion& c : fails) {
+    tx_cq_.push_back(c);
+    tx_cq_size_.fetch_add(1, std::memory_order_release);
+  }
+  flush_tx_locked();
+}
+
+bool TcpChannel::poll_tx(Completion& out) {
+  owner_.pump();
+  if (severed()) {
+    drain_disconnected();
+  } else if (peer_ != nullptr && &peer_->owner_ != &owner_ &&
+             (tx_data_backlog_.load(std::memory_order_acquire) != 0 ||
+              pending_rdma_count_.load(std::memory_order_acquire) != 0)) {
+    // Loopback backpressure: our kernel buffer only empties if the other
+    // in-process side reads — and an RDMA read only completes if the
+    // other side serves the request. Pump its transport — the socket form
+    // of the shmem invariant that a spinning sender must not need the
+    // receiving host to poll first.
+    peer_->owner_.pump();
+  }
+  if (tx_cq_size_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  if (tx_cq_.empty()) return false;
+  out = tx_cq_.front();
+  tx_cq_.pop_front();
+  tx_cq_size_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+bool TcpChannel::poll_rx(Completion& out) {
+  owner_.pump();
+  if (severed()) {
+    drain_disconnected();
+  } else if (peer_ != nullptr && &peer_->owner_ != &owner_ &&
+             peer_->tx_data_backlog_.load(std::memory_order_acquire) != 0) {
+    // Loopback mirror of the poll_tx invariant: a spinning receiver must
+    // not need the in-process sender to poll before its user-space
+    // backlog (frames past the kernel buffer) reaches the wire.
+    peer_->owner_.pump();
+  }
+  if (rx_cq_size_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<sync::SpinLock> g(rx_lock_);
+  if (rx_cq_.empty()) return false;
+  out = rx_cq_.front();
+  rx_cq_.pop_front();
+  rx_cq_size_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+ChannelStats TcpChannel::stats() const {
+  std::lock_guard<sync::SpinLock> g(stats_lock_);
+  return stats_;
+}
+
+std::size_t TcpChannel::tx_backlog() const {
+  return tx_data_backlog_.load(std::memory_order_acquire);
+}
+
+void TcpChannel::quiesce() {
+  sync::Backoff backoff;
+  for (;;) {
+    owner_.pump();
+    if (peer_ != nullptr && &peer_->owner_ != &owner_) peer_->owner_.pump();
+    if (severed()) drain_disconnected();
+    if (tx_pending_.load(std::memory_order_acquire) == 0 &&
+        pending_rdma_count_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    backoff.spin();
+  }
+}
+
+// ---- receive-side frame parser (owner-pump serialized) ----
+
+bool TcpChannel::begin_frame_body() {
+  const auto kind = static_cast<FrameKind>(rx_hdr_.kind);
+  rx_body_got_ = 0;
+  rx_scratch_got_ = 0;
+  switch (kind) {
+    case FrameKind::kData: {
+      if (rx_hdr_.len == 0) {
+        // Zero-byte message: complete right here, no body to read. Funnel
+        // through staged_ + drain so it cannot overtake an older staged
+        // arrival (or be overtaken by one).
+        if (!severed()) {
+          std::lock_guard<sync::SpinLock> g(rx_lock_);
+          staged_.emplace_back();
+          drain_staged_locked();
+          std::lock_guard<sync::SpinLock> s(stats_lock_);
+          ++stats_.packets_rx;
+        }
+        rx_stage_ = RxStage::kHeader;
+        return true;
+      }
+      if (severed()) {
+        rx_stage_ = RxStage::kDataDiscard;
+        return false;
+      }
+      // Direct zero-copy delivery only when it cannot reorder: no older
+      // staged arrival ahead of this frame, and the descriptor is big
+      // enough. Otherwise the frame goes through staged_ and leaves via
+      // drain_staged_locked() in FIFO order (truncating like shmem does).
+      std::lock_guard<sync::SpinLock> g(rx_lock_);
+      if (staged_.empty() && !rx_descs_.empty() &&
+          rx_descs_.front().cap >= rx_hdr_.len) {
+        rx_desc_ = rx_descs_.front();
+        rx_descs_.pop_front();
+        rx_stage_ = RxStage::kDataDirect;
+      } else {
+        rx_staged_.assign(rx_hdr_.len, 0);
+        rx_stage_ = RxStage::kDataStaged;
+      }
+      return false;
+    }
+    case FrameKind::kRdmaReq:
+      if (rx_hdr_.len != sizeof(RdmaReqMeta)) {
+        mark_dead();
+        return false;
+      }
+      rx_stage_ = RxStage::kRdmaReqBody;
+      return false;
+    case FrameKind::kRdmaResp:
+      if (rx_hdr_.len < sizeof(RdmaRespMeta)) {
+        mark_dead();
+        return false;
+      }
+      rx_stage_ = RxStage::kRdmaRespMeta;
+      return false;
+  }
+  mark_dead();  // unknown frame kind: the stream is garbage
+  return false;
+}
+
+void TcpChannel::serve_rdma_request(const RdmaReqMeta& req) {
+  // The requested range is in OUR memory (the peer got the pointer from
+  // our RTS). Zero-copy serve: point the frame's payload straight at it —
+  // the rendezvous contract keeps the buffer valid until FIN, and FIN can
+  // only follow this response. A severed endpoint NACKs instead.
+  const bool ok = !severed() && req.len <= owner_.config_.max_frame_bytes;
+  SendOp op{};
+  FrameHeader hdr;
+  hdr.len = static_cast<uint32_t>(sizeof(RdmaRespMeta) + (ok ? req.len : 0));
+  hdr.kind = static_cast<uint8_t>(FrameKind::kRdmaResp);
+  RdmaRespMeta meta;
+  meta.req_id = req.req_id;
+  meta.ok = ok ? 1 : 0;
+  std::memcpy(op.head, &hdr, sizeof(hdr));
+  std::memcpy(op.head + sizeof(hdr), &meta, sizeof(meta));
+  op.head_len = sizeof(hdr) + sizeof(meta);
+  if (ok) {
+    op.payload = reinterpret_cast<const void*>(
+        static_cast<uintptr_t>(req.raddr));
+    op.payload_len = req.len;
+    std::lock_guard<sync::SpinLock> s(stats_lock_);
+    ++stats_.rdma_reads_served;
+  }
+  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  txq_.push_back(op);
+  tx_pending_.fetch_add(1, std::memory_order_release);
+  flush_tx_locked();
+}
+
+void TcpChannel::complete_rdma_resp_meta() {
+  std::memcpy(&rx_resp_meta_, rx_scratch_, sizeof(rx_resp_meta_));
+  const std::size_t body = rx_hdr_.len - sizeof(RdmaRespMeta);
+  bool have_pending = false;
+  PendingRdma pending{};
+  {
+    std::lock_guard<sync::SpinLock> g(rx_lock_);
+    const auto it = pending_rdma_.find(rx_resp_meta_.req_id);
+    if (it != pending_rdma_.end()) {
+      have_pending = true;
+      pending = it->second;
+      pending_rdma_.erase(it);
+      pending_rdma_count_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  if (!have_pending || rx_resp_meta_.ok == 0 || body != pending.len) {
+    // Late response (the read already failed via sever), a NACK, or a
+    // length the requester never asked for: sink the body, fail the read.
+    if (have_pending) {
+      std::lock_guard<sync::SpinLock> g(tx_lock_);
+      tx_cq_.push_back(
+          Completion{Completion::Kind::kRdmaRead, pending.wrid, 0, true});
+      tx_cq_size_.fetch_add(1, std::memory_order_release);
+    }
+    rx_body_got_ = 0;
+    rx_stage_ = body > 0 ? RxStage::kRdmaRespSink : RxStage::kHeader;
+    return;
+  }
+  if (body == 0) {
+    std::lock_guard<sync::SpinLock> g(tx_lock_);
+    tx_cq_.push_back(
+        Completion{Completion::Kind::kRdmaRead, pending.wrid, 0, false});
+    tx_cq_size_.fetch_add(1, std::memory_order_release);
+    rx_stage_ = RxStage::kHeader;
+    return;
+  }
+  rx_resp_dst_ = pending;
+  rx_body_got_ = 0;
+  rx_stage_ = RxStage::kRdmaRespBody;
+}
+
+void TcpChannel::finish_frame() {
+  switch (rx_stage_) {
+    case RxStage::kDataDirect: {
+      {
+        std::lock_guard<sync::SpinLock> g(rx_lock_);
+        rx_cq_.push_back(Completion{Completion::Kind::kRecv, rx_desc_.wrid,
+                                    rx_hdr_.len, false});
+        rx_cq_size_.fetch_add(1, std::memory_order_release);
+      }
+      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      ++stats_.packets_rx;
+      stats_.bytes_rx += rx_hdr_.len;
+      break;
+    }
+    case RxStage::kDataStaged: {
+      {
+        // A descriptor may have been posted while this frame's body was
+        // still in flight (post_recv only drains *completed* staged
+        // arrivals): deliver now, or the next frame would go direct and
+        // overtake this one.
+        std::lock_guard<sync::SpinLock> g(rx_lock_);
+        staged_.push_back(std::move(rx_staged_));
+        drain_staged_locked();
+      }
+      rx_staged_ = std::vector<uint8_t>();
+      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      ++stats_.packets_rx;
+      stats_.bytes_rx += rx_hdr_.len;
+      break;
+    }
+    case RxStage::kDataDiscard: {
+      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      ++stats_.packets_dropped;
+      break;
+    }
+    case RxStage::kRdmaReqBody: {
+      RdmaReqMeta req;
+      std::memcpy(&req, rx_scratch_, sizeof(req));
+      serve_rdma_request(req);
+      break;
+    }
+    case RxStage::kRdmaRespBody: {
+      std::lock_guard<sync::SpinLock> g(tx_lock_);
+      tx_cq_.push_back(Completion{Completion::Kind::kRdmaRead,
+                                  rx_resp_dst_.wrid, rx_resp_dst_.len,
+                                  false});
+      tx_cq_size_.fetch_add(1, std::memory_order_release);
+      break;
+    }
+    case RxStage::kRdmaRespSink:
+    case RxStage::kRdmaRespMeta:
+    case RxStage::kHeader:
+      break;  // handled by their own transitions
+  }
+  rx_stage_ = RxStage::kHeader;
+  rx_scratch_got_ = 0;
+  rx_body_got_ = 0;
+}
+
+int TcpChannel::handle_readable() {
+  int events = 0;
+  uint8_t sink[4096];
+  for (;;) {
+    void* dst = nullptr;
+    std::size_t want = 0;
+    switch (rx_stage_) {
+      case RxStage::kHeader:
+        dst = rx_scratch_ + rx_scratch_got_;
+        want = sizeof(FrameHeader) - rx_scratch_got_;
+        break;
+      case RxStage::kRdmaReqBody:
+        dst = rx_scratch_ + rx_scratch_got_;
+        want = sizeof(RdmaReqMeta) - rx_scratch_got_;
+        break;
+      case RxStage::kRdmaRespMeta:
+        dst = rx_scratch_ + rx_scratch_got_;
+        want = sizeof(RdmaRespMeta) - rx_scratch_got_;
+        break;
+      case RxStage::kDataDirect:
+        dst = static_cast<uint8_t*>(rx_desc_.buf) + rx_body_got_;
+        want = rx_hdr_.len - rx_body_got_;
+        break;
+      case RxStage::kDataStaged:
+        dst = rx_staged_.data() + rx_body_got_;
+        want = rx_hdr_.len - rx_body_got_;
+        break;
+      case RxStage::kRdmaRespBody: {
+        const std::size_t body = rx_hdr_.len - sizeof(RdmaRespMeta);
+        dst = static_cast<uint8_t*>(rx_resp_dst_.local) + rx_body_got_;
+        want = body - rx_body_got_;
+        break;
+      }
+      case RxStage::kDataDiscard:
+      case RxStage::kRdmaRespSink: {
+        const std::size_t body =
+            rx_stage_ == RxStage::kDataDiscard
+                ? rx_hdr_.len
+                : rx_hdr_.len - sizeof(RdmaRespMeta);
+        const std::size_t rem = body - rx_body_got_;
+        dst = sink;
+        want = rem < sizeof(sink) ? rem : sizeof(sink);
+        break;
+      }
+    }
+    const ssize_t n = ::read(fd_, dst, want);
+    if (n == 0) {
+      mark_dead();
+      return events;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      mark_dead();
+      return events;
+    }
+    const std::size_t got = static_cast<std::size_t>(n);
+    switch (rx_stage_) {
+      case RxStage::kHeader:
+        rx_scratch_got_ += got;
+        if (rx_scratch_got_ == sizeof(FrameHeader)) {
+          std::memcpy(&rx_hdr_, rx_scratch_, sizeof(rx_hdr_));
+          rx_scratch_got_ = 0;
+          if (rx_hdr_.len > owner_.config_.max_frame_bytes) {
+            PIOM_LOG_WARN("tcp channel %s: insane frame length %u, killing "
+                          "connection",
+                          name_.c_str(), rx_hdr_.len);
+            mark_dead();
+            return events;
+          }
+          if (begin_frame_body()) ++events;  // zero-length fast path
+        }
+        break;
+      case RxStage::kRdmaReqBody:
+      case RxStage::kRdmaRespMeta: {
+        rx_scratch_got_ += got;
+        const std::size_t need = rx_stage_ == RxStage::kRdmaReqBody
+                                     ? sizeof(RdmaReqMeta)
+                                     : sizeof(RdmaRespMeta);
+        if (rx_scratch_got_ == need) {
+          if (rx_stage_ == RxStage::kRdmaReqBody) {
+            finish_frame();
+          } else {
+            rx_scratch_got_ = 0;
+            complete_rdma_resp_meta();
+          }
+          ++events;
+        }
+        break;
+      }
+      case RxStage::kDataDirect:
+      case RxStage::kDataStaged:
+        rx_body_got_ += got;
+        if (rx_body_got_ == rx_hdr_.len) {
+          finish_frame();
+          ++events;
+        }
+        break;
+      case RxStage::kRdmaRespBody:
+        rx_body_got_ += got;
+        if (rx_body_got_ == rx_hdr_.len - sizeof(RdmaRespMeta)) {
+          finish_frame();
+          ++events;
+        }
+        break;
+      case RxStage::kDataDiscard:
+        rx_body_got_ += got;
+        if (rx_body_got_ == rx_hdr_.len) finish_frame();
+        break;
+      case RxStage::kRdmaRespSink:
+        rx_body_got_ += got;
+        if (rx_body_got_ == rx_hdr_.len - sizeof(RdmaRespMeta)) {
+          finish_frame();
+        }
+        break;
+    }
+  }
+  return events;
+}
+
+// -------------------------------------------------------------- transport
+
+TcpTransport::TcpTransport(TcpConfig config) : config_(config) {}
+
+TcpTransport::~TcpTransport() {
+  std::lock_guard<std::mutex> pump_guard(pump_lock_);
+  std::lock_guard<std::mutex> g(state_lock_);
+  for (const auto& ch : channels_) poller_.remove(ch->fd_);
+  channels_.clear();  // closes the fds
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+TcpChannel* TcpTransport::adopt_fd(int fd, std::string name, bool uds) {
+  set_nonblocking(fd);
+  if (!uds) set_nodelay(fd);
+  auto ch = std::unique_ptr<TcpChannel>(
+      new TcpChannel(*this, std::move(name), fd, uds));
+  TcpChannel* raw = ch.get();
+  // The poller's bookkeeping is only touched under pump_lock_ (wait() runs
+  // inside pump(), add() here) so registration never races the event loop.
+  std::lock_guard<std::mutex> pump_guard(pump_lock_);
+  {
+    std::lock_guard<std::mutex> g(state_lock_);
+    channels_.push_back(std::move(ch));
+  }
+  poller_.add(fd, raw);
+  return raw;
+}
+
+void TcpTransport::snapshot_channels(std::vector<TcpChannel*>& out) const {
+  std::lock_guard<std::mutex> g(state_lock_);
+  out.reserve(channels_.size());
+  for (const auto& ch : channels_) out.push_back(ch.get());
+}
+
+std::size_t TcpTransport::channel_count() const {
+  std::lock_guard<std::mutex> g(state_lock_);
+  return channels_.size();
+}
+
+std::pair<IChannel*, IChannel*> TcpTransport::create_channel_pair(
+    const std::string& name) {
+  return create_loopback_pair(*this, *this, name, Endpoint::Scheme::kUds);
+}
+
+std::pair<IChannel*, IChannel*> TcpTransport::create_loopback_pair(
+    TcpTransport& ta, TcpTransport& tb, const std::string& name,
+    Endpoint::Scheme scheme) {
+  int fd_a = -1;
+  int fd_b = -1;
+  if (scheme == Endpoint::Scheme::kUds) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      sys_fail("socketpair");
+    }
+    fd_a = sv[0];
+    fd_b = sv[1];
+  } else if (scheme == Endpoint::Scheme::kTcp) {
+    // A real TCP connection through 127.0.0.1, so loopback "tcp" pairs
+    // exercise (and cost) the genuine inet stack, not just a socketpair.
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (lfd < 0) sys_fail("socket");
+    sockaddr_in sa = make_inet_addr("127.0.0.1", 0);
+    if (::bind(lfd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+        ::listen(lfd, 1) != 0) {
+      ::close(lfd);
+      sys_fail("bind/listen(127.0.0.1)");
+    }
+    socklen_t slen = sizeof(sa);
+    if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&sa), &slen) != 0) {
+      ::close(lfd);
+      sys_fail("getsockname");
+    }
+    fd_a = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_a < 0) {
+      ::close(lfd);
+      sys_fail("socket");
+    }
+    if (::connect(fd_a, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(lfd);
+      ::close(fd_a);
+      sys_fail("connect(127.0.0.1)");
+    }
+    fd_b = ::accept(lfd, nullptr, nullptr);
+    ::close(lfd);
+    if (fd_b < 0) {
+      ::close(fd_a);
+      sys_fail("accept");
+    }
+  } else {
+    throw std::invalid_argument(
+        "TcpTransport::create_loopback_pair: scheme must be tcp or uds");
+  }
+  const bool uds = scheme == Endpoint::Scheme::kUds;
+  TcpChannel* a = ta.adopt_fd(fd_a, name + ".a", uds);
+  TcpChannel* b = tb.adopt_fd(fd_b, name + ".b", uds);
+  a->peer_ = b;
+  b->peer_ = a;
+  return {a, b};
+}
+
+void TcpTransport::listen(const Endpoint& addr) {
+  std::lock_guard<std::mutex> g(state_lock_);
+  if (listen_fd_ >= 0) {
+    throw std::logic_error("TcpTransport::listen: already listening");
+  }
+  if (addr.scheme == Endpoint::Scheme::kTcp) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket");
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = make_inet_addr(addr.host, addr.port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+        ::listen(fd, config_.listen_backlog) != 0) {
+      ::close(fd);
+      sys_fail("bind/listen");
+    }
+    socklen_t slen = sizeof(sa);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &slen) != 0) {
+      ::close(fd);
+      sys_fail("getsockname");
+    }
+    listen_fd_ = fd;
+    listen_addr_ = Endpoint::tcp(addr.host, ntohs(sa.sin_port));
+    return;
+  }
+  if (addr.scheme == Endpoint::Scheme::kUds) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket");
+    sockaddr_un sa = make_unix_addr(addr.path);
+    (void)::unlink(addr.path.c_str());  // stale socket file from a crash
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+        ::listen(fd, config_.listen_backlog) != 0) {
+      ::close(fd);
+      sys_fail("bind/listen(uds)");
+    }
+    listen_fd_ = fd;
+    listen_addr_ = addr;
+    unlink_path_ = addr.path;
+    return;
+  }
+  throw std::invalid_argument(
+      "TcpTransport::listen: address must be tcp:// or uds://");
+}
+
+const Endpoint& TcpTransport::listen_endpoint() const {
+  std::lock_guard<std::mutex> g(state_lock_);
+  if (listen_fd_ < 0) {
+    throw std::logic_error("TcpTransport::listen_endpoint: not listening");
+  }
+  return listen_addr_;
+}
+
+std::vector<IChannel*> TcpTransport::connect_mesh(
+    int my_rank, const std::vector<Endpoint>& table) {
+  const int n = static_cast<int>(table.size());
+  if (my_rank < 0 || my_rank >= n) {
+    throw std::invalid_argument("TcpTransport::connect_mesh: bad rank");
+  }
+  const int64_t deadline =
+      now_ms() + static_cast<int64_t>(config_.connect_timeout_s * 1000.0);
+  std::vector<IChannel*> out(static_cast<std::size_t>(n), nullptr);
+  // Connect to every lower rank. Lower ranks finish their own (lower)
+  // connects first, then sit in accept — so this ordering cannot cycle.
+  for (int peer = 0; peer < my_rank; ++peer) {
+    const Endpoint& ep = table[static_cast<std::size_t>(peer)];
+    int fd = -1;
+    for (;;) {
+      if (ep.scheme == Endpoint::Scheme::kTcp) {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) sys_fail("socket");
+        sockaddr_in sa = make_inet_addr(ep.host, ep.port);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) ==
+            0) {
+          break;
+        }
+      } else if (ep.scheme == Endpoint::Scheme::kUds) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) sys_fail("socket");
+        sockaddr_un sa = make_unix_addr(ep.path);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) ==
+            0) {
+          break;
+        }
+      } else {
+        throw std::invalid_argument(
+            "TcpTransport::connect_mesh: table entries must be tcp/uds");
+      }
+      // Peer not up yet (cluster processes start in arbitrary order).
+      ::close(fd);
+      if (now_ms() >= deadline) {
+        throw std::runtime_error("TcpTransport::connect_mesh: timeout "
+                                 "connecting to rank " +
+                                 std::to_string(peer));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    Hello hello;
+    hello.rank = static_cast<uint32_t>(my_rank);
+    write_full(fd, &hello, sizeof(hello));
+    const std::string name = "tcp." + std::to_string(peer) + "-" +
+                             std::to_string(my_rank) + ".b";
+    out[static_cast<std::size_t>(peer)] =
+        adopt_fd(fd, name, ep.scheme == Endpoint::Scheme::kUds);
+  }
+  // Accept from every higher rank (identified by its hello).
+  int outstanding = n - my_rank - 1;
+  const bool uds = listen_endpoint().scheme == Endpoint::Scheme::kUds;
+  while (outstanding > 0) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int64_t left = deadline - now_ms();
+    if (left <= 0) {
+      throw std::runtime_error(
+          "TcpTransport::connect_mesh: timeout waiting for peers");
+    }
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left < 100 ? left : 100));
+    if (pr < 0 && errno != EINTR) sys_fail("poll(listen)");
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      sys_fail("accept");
+    }
+    Hello hello;
+    read_full(fd, &hello, sizeof(hello), deadline);
+    const int peer = static_cast<int>(hello.rank);
+    if (hello.magic != Hello{}.magic || peer <= my_rank || peer >= n ||
+        out[static_cast<std::size_t>(peer)] != nullptr) {
+      PIOM_LOG_WARN("tcp transport: dropping bogus data connection "
+                    "(hello rank %d)",
+                    peer);
+      ::close(fd);
+      continue;
+    }
+    const std::string name = "tcp." + std::to_string(my_rank) + "-" +
+                             std::to_string(peer) + ".a";
+    out[static_cast<std::size_t>(peer)] = adopt_fd(fd, name, uds);
+    --outstanding;
+  }
+  return out;
+}
+
+int TcpTransport::pump() {
+  if (!pump_lock_.try_lock()) return 0;
+  std::lock_guard<std::mutex> guard(pump_lock_, std::adopt_lock);
+  int events = 0;
+  aio::FdPoller::Event evs[kMaxEvents];
+  const int n = poller_.wait(evs, kMaxEvents, 0);
+  for (int i = 0; i < n; ++i) {
+    auto* ch = static_cast<TcpChannel*>(evs[i].tag);
+    if (ch == nullptr) continue;
+    if (evs[i].readable) {
+      events += ch->handle_readable();
+    } else if (evs[i].hangup) {
+      ch->mark_dead();
+    }
+  }
+  // Flush pass: frames may have been queued by threads that lost the pump
+  // try-lock, or unblocked by what we just read.
+  std::vector<TcpChannel*> chans;
+  snapshot_channels(chans);
+  for (TcpChannel* ch : chans) {
+    if (ch->tx_pending_.load(std::memory_order_acquire) != 0) {
+      events += ch->flush_tx();
+    }
+  }
+  return events;
+}
+
+}  // namespace piom::transport

@@ -1,20 +1,28 @@
 #include "util/log.hpp"
 
 #include <cstdarg>
-#include <cstdlib>
+#include <cstdio>
 #include <cstring>
+
+#include "util/env.hpp"
 
 namespace piom::util {
 
 namespace {
 LogLevel parse_level() {
-  const char* env = std::getenv("PIOM_LOG");
-  if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  // Validated here rather than via env::choice: the logger cannot warn
+  // through itself while its own level is still being initialized.
+  const std::optional<std::string> env = env::raw("PIOM_LOG");
+  if (!env) return LogLevel::kWarn;
+  if (*env == "debug") return LogLevel::kDebug;
+  if (*env == "info") return LogLevel::kInfo;
+  if (*env == "warn") return LogLevel::kWarn;
+  if (*env == "error") return LogLevel::kError;
+  if (*env == "off") return LogLevel::kOff;
+  std::fprintf(stderr,
+               "piom: ignoring $PIOM_LOG='%s': expected "
+               "debug|info|warn|error|off\n",
+               env->c_str());
   return LogLevel::kWarn;
 }
 

@@ -1,37 +1,6 @@
 #include "util/options.hpp"
 
-#include <cstdlib>
-#include <cstring>
-
 namespace piom::util {
-
-int64_t env_int(const char* name, int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v, &end, 10);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
-}
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
-}
-
-std::string env_str(const char* name, const std::string& fallback) {
-  const char* v = std::getenv(name);
-  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
-}
-
-bool env_bool(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
-         std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
-}
 
 std::string arg_value(int argc, char** argv, const std::string& key) {
   const std::string dashed = "--" + key;

@@ -1,22 +1,10 @@
-// Environment/CLI option helpers shared by benches and examples.
+// CLI option helpers shared by benches and examples. Environment knobs
+// moved to util/env.hpp (typed parse + log-on-junk).
 #pragma once
 
-#include <cstdint>
 #include <string>
 
 namespace piom::util {
-
-/// Integer from $name, or `fallback` when unset/unparsable.
-[[nodiscard]] int64_t env_int(const char* name, int64_t fallback);
-
-/// Double from $name, or `fallback`.
-[[nodiscard]] double env_double(const char* name, double fallback);
-
-/// String from $name, or `fallback`.
-[[nodiscard]] std::string env_str(const char* name, const std::string& fallback);
-
-/// Boolean from $name ("1", "true", "yes", "on" → true), or `fallback`.
-[[nodiscard]] bool env_bool(const char* name, bool fallback);
 
 /// Tiny argv scanner: returns the value following "--key" or the part after
 /// "--key=" if present, else empty. Benches use it for e.g. --quick.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/env.hpp"
 #include "util/timing.hpp"
 
 namespace piom::util::trace {
@@ -61,8 +62,7 @@ const char* kind_name(Kind k) {
 
 bool enabled() {
   if (!g_env_checked.load(std::memory_order_acquire)) {
-    const char* env = std::getenv("PIOM_TRACE");
-    if (env != nullptr && env[0] == '1') {
+    if (util::env::boolean("PIOM_TRACE", false)) {
       g_enabled.store(true, std::memory_order_release);
     }
     g_env_checked.store(true, std::memory_order_release);

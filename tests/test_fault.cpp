@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "mpi/world.hpp"
+#include "util/env.hpp"
 #include "util/timing.hpp"
 
 namespace piom::mpi {
@@ -510,10 +511,10 @@ TEST(RdvDrain, ParkedRendezvousRoundIsNackedWhileSurvivorsStayLive) {
 // ---- chaos: seeded random kills under test_nrank-style iteration bodies ----
 
 uint64_t chaos_seed() {
-  if (const char* env = std::getenv("PIOM_CHAOS_SEED")) {
-    return std::strtoull(env, nullptr, 0);
-  }
-  return 0x5eed5eedULL;  // fixed default: CI runs are reproducible
+  // Hex accepted (env::integer parses base 0); fixed default keeps CI
+  // runs reproducible.
+  return static_cast<uint64_t>(
+      piom::util::env::integer("PIOM_CHAOS_SEED", 0x5eed5eedLL));
 }
 
 uint64_t splitmix(uint64_t& s) {

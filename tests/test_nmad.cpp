@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "nmad/session.hpp"
-#include "simnet/fabric.hpp"
+#include "transport/cluster.hpp"
 #include "util/timing.hpp"
 
 namespace piom::nmad {
@@ -32,7 +32,7 @@ bool progress_until(Session& sa, Session& sb, Pred&& pred,
 }
 
 struct NmadPair {
-  simnet::Fabric fabric;
+  transport::Cluster cluster;
   Session sa;
   Session sb;
   Gate* ga = nullptr;
@@ -40,10 +40,12 @@ struct NmadPair {
 
   explicit NmadPair(SessionConfig cfg = {}, int rails = 1,
                     double time_scale = 0.05)
-      : fabric(time_scale), sa("A", cfg), sb("B", cfg) {
+      : cluster(transport::ClusterConfig{time_scale}),
+        sa("A", cfg),
+        sb("B", cfg) {
     std::vector<transport::IChannel*> rails_a, rails_b;
     for (int r = 0; r < rails; ++r) {
-      auto [na, nb] = fabric.create_link("rail" + std::to_string(r));
+      auto [na, nb] = cluster.create_sim_link("rail" + std::to_string(r), {});
       rails_a.push_back(na);
       rails_b.push_back(nb);
     }
@@ -341,8 +343,8 @@ TEST(NmadConfig, RejectsOversizedThresholds) {
 }
 
 TEST(NmadConfig, GateRequiresConnectedRails) {
-  simnet::Fabric fabric(0.05);
-  simnet::Nic& lonely = fabric.create_nic("lonely");
+  transport::Cluster cluster(transport::ClusterConfig{0.05});
+  simnet::Nic& lonely = cluster.fabric().create_nic("lonely");
   Session s("s");
   EXPECT_THROW(s.create_gate({}), std::invalid_argument);
   EXPECT_THROW(s.create_gate({&lonely}), std::invalid_argument);

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "nmad/session.hpp"
-#include "simnet/fabric.hpp"
+#include "transport/cluster.hpp"
 #include "mpi/world.hpp"
 #include "util/timing.hpp"
 
@@ -19,19 +19,19 @@ namespace piom::nmad {
 namespace {
 
 struct LossyPair {
-  simnet::Fabric fabric;
+  transport::Cluster cluster;
   Session sa;
   Session sb;
   Gate* ga = nullptr;
   Gate* gb = nullptr;
-  simnet::Nic* na = nullptr;
-  simnet::Nic* nb = nullptr;
+  transport::IChannel* na = nullptr;
+  transport::IChannel* nb = nullptr;
 
   explicit LossyPair(double drop_rate, SessionConfig cfg)
-      : fabric(0.05), sa("A", cfg), sb("B", cfg) {
+      : cluster(transport::ClusterConfig{0.05}), sa("A", cfg), sb("B", cfg) {
     simnet::LinkModel link;
     link.drop_rate = drop_rate;
-    auto [a, b] = fabric.create_link("lossy", link);
+    auto [a, b] = cluster.create_sim_link("lossy", link);
     na = a;
     nb = b;
     ga = &sa.create_gate({a});
@@ -60,10 +60,10 @@ bool progress_until(LossyPair& p, Pred&& pred,
 }
 
 TEST(FaultInjection, DropsAreObservableAtNicLevel) {
-  simnet::Fabric fabric(0.02);
+  transport::Cluster cluster(transport::ClusterConfig{0.02});
   simnet::LinkModel link;
   link.drop_rate = 0.5;
-  auto [a, b] = fabric.create_link("half", link);
+  auto [a, b] = cluster.create_sim_link("half", link);
   char rx[16];
   simnet::Completion c;
   constexpr int kSends = 200;
@@ -82,10 +82,10 @@ TEST(FaultInjection, DropsAreObservableAtNicLevel) {
 
 TEST(FaultInjection, DropPatternIsDeterministic) {
   auto run = [] {
-    simnet::Fabric fabric(0.02);
+    transport::Cluster cluster(transport::ClusterConfig{0.02});
     simnet::LinkModel link;
     link.drop_rate = 0.3;
-    auto [a, b] = fabric.create_link("det", link);
+    auto [a, b] = cluster.create_sim_link("det", link);
     char rx[8];
     for (int i = 0; i < 100; ++i) b->post_recv(rx, sizeof(rx), 1);
     for (int i = 0; i < 100; ++i) a->post_send("y", 2, 2);

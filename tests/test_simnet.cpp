@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "simnet/fabric.hpp"
+#include "transport/cluster.hpp"
 #include "util/timing.hpp"
 
 namespace piom::simnet {
@@ -160,12 +161,14 @@ TEST_F(SimnetTest, ConnectErrorPathsLeaveNicsUsable) {
 }
 
 TEST(SimnetMesh, FullMeshWiresEveryPairWithEveryRail) {
-  Fabric fabric(0.05);
+  transport::ClusterConfig cc;
+  cc.time_scale = 0.05;
+  transport::Cluster cluster(cc);
   constexpr int kNodes = 4, kRails = 2;
-  const Fabric::MeshWiring mesh =
-      fabric.create_full_mesh(kNodes, kRails);
+  const transport::Cluster::MeshWiring mesh =
+      cluster.create_full_mesh(kNodes, kRails);
   // nodes*(nodes-1)/2 pairs, kRails links each, two NICs per link.
-  EXPECT_EQ(fabric.nic_count(),
+  EXPECT_EQ(cluster.fabric().nic_count(),
             static_cast<std::size_t>(kNodes * (kNodes - 1) * kRails));
   for (int i = 0; i < kNodes; ++i) {
     EXPECT_TRUE(mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)]
@@ -186,8 +189,10 @@ TEST(SimnetMesh, FullMeshWiresEveryPairWithEveryRail) {
 }
 
 TEST(SimnetMesh, MeshLinksCarryTraffic) {
-  Fabric fabric(0.05);
-  const Fabric::MeshWiring mesh = fabric.create_full_mesh(3, 1);
+  transport::ClusterConfig cc;
+  cc.time_scale = 0.05;
+  transport::Cluster cluster(cc);
+  const transport::Cluster::MeshWiring mesh = cluster.create_full_mesh(3, 1);
   // Push one message across every directed pair and check delivery.
   for (int i = 0; i < 3; ++i) {
     for (int j = 0; j < 3; ++j) {
@@ -212,14 +217,17 @@ TEST(SimnetMesh, MeshLinksCarryTraffic) {
 }
 
 TEST(SimnetMesh, RejectsDegenerateShapes) {
-  Fabric fabric(0.05);
-  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(1, 1)),
+  transport::ClusterConfig cc;
+  cc.time_scale = 0.05;
+  transport::Cluster cluster(cc);
+  EXPECT_THROW(static_cast<void>(cluster.create_full_mesh(1, 1)),
                std::invalid_argument);
-  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(0, 1)),
+  EXPECT_THROW(static_cast<void>(cluster.create_full_mesh(0, 1)),
                std::invalid_argument);
-  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(2, 0)),
+  EXPECT_THROW(static_cast<void>(cluster.create_full_mesh(2, 0)),
                std::invalid_argument);
-  EXPECT_EQ(fabric.nic_count(), 0u);  // failed meshes create nothing
+  // failed meshes create nothing
+  EXPECT_EQ(cluster.fabric().nic_count(), 0u);
 }
 
 TEST(LinkModel, CostsScaleWithSize) {

@@ -5,7 +5,7 @@
 #include <random>
 
 #include "nmad/strategy.hpp"
-#include "util/options.hpp"
+#include "util/env.hpp"
 
 namespace piom::nmad {
 namespace {
@@ -163,7 +163,7 @@ TEST(Strategy, AggregationUnsetFollowsEnvironment) {
   ASSERT_FALSE(cfg.aggregation.has_value());
   Strategy s(cfg);
   EXPECT_EQ(s.aggregation(),
-            piom::util::env_bool("PIOM_AGGREGATION", false));
+            piom::util::env::boolean("PIOM_AGGREGATION", false));
 }
 
 TEST(Strategy, EagerRailRoundRobin) {

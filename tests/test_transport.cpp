@@ -12,9 +12,11 @@
 
 #include "nmad/request.hpp"
 #include "nmad/session.hpp"
-#include "simnet/fabric.hpp"
 #include "transport/channel.hpp"
+#include "transport/cluster.hpp"
+#include "transport/endpoint.hpp"
 #include "transport/shmem.hpp"
+#include "transport/tcp.hpp"
 #include "util/timing.hpp"
 
 namespace piom::transport {
@@ -190,9 +192,11 @@ TEST(ShmemChannel, ReportsFastRailProperties) {
 }
 
 TEST(Transports, FactoryFacesAgree) {
-  simnet::Fabric fabric(0.05);
-  ITransport& nic_side = fabric;
-  ITransport& shm_side = fabric.shmem();
+  ClusterConfig cc;
+  cc.time_scale = 0.05;
+  Cluster cluster(cc);
+  ITransport& nic_side = cluster.transport(Backend::kSimnet);
+  ITransport& shm_side = cluster.transport(Backend::kShmem);
   EXPECT_EQ(nic_side.backend(), Backend::kSimnet);
   EXPECT_EQ(shm_side.backend(), Backend::kShmem);
   auto [na, nb] = nic_side.create_channel_pair("n");
@@ -279,12 +283,14 @@ TEST(BackendPolicy, FromEnvResolvesBackends) {
 
 // ------------------------------------------------------------- mixed mesh
 
-TEST(FabricMesh, PolicyWiresShmemIntraNodeAndNicsAcross) {
-  simnet::Fabric fabric(0.05);
+TEST(ClusterMesh, PolicyWiresShmemIntraNodeAndNicsAcross) {
+  ClusterConfig cc;
+  cc.time_scale = 0.05;
+  Cluster cluster(cc);
   BackendPolicy policy;
   policy.node_of = {0, 0, 1, 1};
-  const simnet::Fabric::MeshWiring mesh =
-      fabric.create_full_mesh(4, 1, {}, "mix", policy);
+  const Cluster::MeshWiring mesh =
+      cluster.create_full_mesh(4, 1, {}, "mix", policy);
   // Same-node pairs: one shmem rail. Cross-node pairs: one NIC rail.
   ASSERT_EQ(mesh[0][1].size(), 1u);
   EXPECT_EQ(mesh[0][1][0]->backend(), Backend::kShmem);
@@ -310,17 +316,19 @@ TEST(FabricMesh, PolicyWiresShmemIntraNodeAndNicsAcross) {
     }
   }
   // 4 cross-node pairs x 1 rail x 2 NICs; 2 same-node pairs x 2 endpoints.
-  EXPECT_EQ(fabric.nic_count(), 8u);
-  EXPECT_EQ(fabric.shmem().channel_count(), 4u);
+  EXPECT_EQ(cluster.fabric().nic_count(), 8u);
+  EXPECT_EQ(cluster.shmem().channel_count(), 4u);
 }
 
-TEST(FabricMesh, HybridPairsPutTheFastRailFirst) {
-  simnet::Fabric fabric(0.05);
+TEST(ClusterMesh, HybridPairsPutTheFastRailFirst) {
+  ClusterConfig cc;
+  cc.time_scale = 0.05;
+  Cluster cluster(cc);
   BackendPolicy policy;
   policy.node_of = {0, 0};
   policy.intra = PairWiring::kHybrid;
-  const simnet::Fabric::MeshWiring mesh =
-      fabric.create_full_mesh(2, 2, {}, "hyb", policy);
+  const Cluster::MeshWiring mesh =
+      cluster.create_full_mesh(2, 2, {}, "hyb", policy);
   ASSERT_EQ(mesh[0][1].size(), 3u);  // shmem + 2 NIC rails
   EXPECT_EQ(mesh[0][1][0]->backend(), Backend::kShmem);
   EXPECT_EQ(mesh[0][1][1]->backend(), Backend::kSimnet);
@@ -330,14 +338,16 @@ TEST(FabricMesh, HybridPairsPutTheFastRailFirst) {
   EXPECT_GT(mesh[0][1][0]->bandwidth_GBps(), mesh[0][1][1]->bandwidth_GBps());
 }
 
-TEST(FabricMesh, RejectsMalformedPolicyBeforeWiringAnything) {
-  simnet::Fabric fabric(0.05);
+TEST(ClusterMesh, RejectsMalformedPolicyBeforeWiringAnything) {
+  ClusterConfig cc;
+  cc.time_scale = 0.05;
+  Cluster cluster(cc);
   BackendPolicy bad;
   bad.node_of = {0};  // wrong size for a 3-node mesh
-  EXPECT_THROW(static_cast<void>(fabric.create_full_mesh(3, 1, {}, "m", bad)),
+  EXPECT_THROW(static_cast<void>(cluster.create_full_mesh(3, 1, {}, "m", bad)),
                std::invalid_argument);
-  EXPECT_EQ(fabric.nic_count(), 0u);
-  EXPECT_EQ(fabric.shmem().channel_count(), 0u);
+  EXPECT_EQ(cluster.fabric().nic_count(), 0u);
+  EXPECT_EQ(cluster.shmem().channel_count(), 0u);
 }
 
 // ----------------------------------------------- heterogeneous-rail gates
@@ -356,11 +366,12 @@ void pump(nmad::Gate& ga, nmad::Gate& gb, DoneFn done) {
 TEST(HybridGate, EagerRidesShmemBulkStripesAcrossBothRails) {
   // Pin the shmem bandwidth so the stripe split (and thus the NIC rail's
   // share clearing stripe_min_chunk) is deterministic across hosts.
-  ShmemConfig shmem;
-  shmem.bandwidth_GBps = 10.0;
-  simnet::Fabric fabric(0.05, shmem);
-  auto [sa, sb] = fabric.shmem().create_channel_pair("fast");
-  auto [na, nb] = fabric.create_link("slow");
+  ClusterConfig cc;
+  cc.time_scale = 0.05;
+  cc.shmem.bandwidth_GBps = 10.0;
+  Cluster cluster(cc);
+  auto [sa, sb] = cluster.shmem().create_channel_pair("fast");
+  auto [na, nb] = cluster.create_sim_link("slow", {});
 
   nmad::SessionConfig config;
   config.strategy.stripe_min_chunk = 16 * 1024;
@@ -397,6 +408,338 @@ TEST(HybridGate, EagerRidesShmemBulkStripesAcrossBothRails) {
   // endpoints serve the reads, one chunk per rail.
   EXPECT_GE(sa->stats().rdma_reads_served, 1u);  // fast-rail chunk
   EXPECT_GE(na->stats().rdma_reads_served, 1u);  // NIC-rail chunk
+}
+
+// ------------------------------------------------------------ tcp channel
+//
+// The socket backend mirrors the shmem contract over real nonblocking
+// sockets: everything below is the shmem suite's shape with asynchronous
+// completion (a pump must run; poll_tx/poll_rx drive it).
+
+/// Spin until a completion shows up (bounded: sockets are asynchronous).
+template <typename PollFn>
+bool poll_until(PollFn&& poll, Completion& out,
+                int64_t timeout_ns = 10'000'000'000) {
+  const int64_t deadline = util::now_ns() + timeout_ns;
+  while (util::now_ns() < deadline) {
+    if (poll(out)) return true;
+  }
+  return false;
+}
+
+/// A connected loopback pair on two independent transports (two pumps —
+/// the honest two-rank shape), over the requested socket scheme.
+struct TcpPair {
+  Cluster cluster;
+  IChannel* a = nullptr;
+  IChannel* b = nullptr;
+
+  explicit TcpPair(Endpoint::Scheme scheme = Endpoint::Scheme::kUds,
+                   const std::string& name = "tpair") {
+    auto [x, y] = TcpTransport::create_loopback_pair(
+        cluster.tcp_node(0), cluster.tcp_node(1), name, scheme);
+    a = x;
+    b = y;
+  }
+};
+
+TEST(TcpChannel, BasicSendRecvRoundTrip) {
+  TcpPair p;
+  EXPECT_EQ(p.a->backend(), Backend::kTcp);
+  EXPECT_EQ(p.a->peer(), p.b);
+  EXPECT_EQ(p.b->peer(), p.a);
+  EXPECT_TRUE(p.a->connected());
+
+  char rx[16] = {};
+  p.b->post_recv(rx, sizeof(rx), 7);
+  p.a->post_send("hello", 6, 9);
+
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kRecv);
+  EXPECT_EQ(c.wrid, 7u);
+  EXPECT_EQ(c.bytes, 6u);
+  EXPECT_STREQ(rx, "hello");
+
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kSend);
+  EXPECT_EQ(c.wrid, 9u);
+  EXPECT_EQ(p.a->stats().packets_tx, 1u);
+  EXPECT_EQ(p.a->stats().bytes_tx, 6u);
+  EXPECT_EQ(p.b->stats().packets_rx, 1u);
+  EXPECT_EQ(p.b->stats().bytes_rx, 6u);
+}
+
+TEST(TcpChannel, RealTcpSocketsCarryTrafficToo) {
+  // Same contract over an actual 127.0.0.1 listen/connect/accept.
+  TcpPair p(Endpoint::Scheme::kTcp, "inet");
+  char rx[8] = {};
+  p.b->post_recv(rx, sizeof(rx), 1);
+  p.a->post_send("inet", 5, 2);
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_STREQ(rx, "inet");
+}
+
+TEST(TcpChannel, ZeroAndOneByteMessages) {
+  TcpPair p;
+  char rx0 = 'x', rx1 = 0;
+  p.b->post_recv(&rx0, 1, 1);
+  p.b->post_recv(&rx1, 1, 2);
+  p.a->post_send(nullptr, 0, 10);  // zero-byte: header-only frame
+  const char one = 'Z';
+  p.a->post_send(&one, 1, 11);
+
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_EQ(c.bytes, 0u);
+  EXPECT_EQ(rx0, 'x');  // untouched
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_EQ(c.bytes, 1u);
+  EXPECT_EQ(rx1, 'Z');
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  EXPECT_FALSE(p.a->poll_tx(c));
+}
+
+TEST(TcpChannel, StagedArrivalDeliveredToLatePostedBuffer) {
+  TcpPair p;
+  const char payload[] = "buffered";
+  p.a->post_send(payload, sizeof(payload), 1);
+  // The send completes once the frame hits the kernel; the receiver has
+  // not posted, so its pump stages the arrival driver-side.
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  char rx[16] = {};
+  p.b->post_recv(rx, sizeof(rx), 2);
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_STREQ(rx, "buffered");
+}
+
+TEST(TcpChannel, UndersizedPostedBufferPreservesFifo) {
+  // Per-channel FIFO regression: an arrival that cannot go direct (here:
+  // the posted buffer is too small) must not let the NEXT frame claim the
+  // descriptor and overtake it. Expected shmem-matching semantics: the
+  // first message is delivered truncated to the first descriptor, the
+  // second message to the second, in send order.
+  TcpPair p;
+  char small[4] = {};
+  char roomy[16] = {};
+  p.b->post_recv(small, sizeof(small), 1);
+  p.b->post_recv(roomy, sizeof(roomy), 2);
+  const char m1[] = "first-message!";  // 15 bytes: overflows `small`
+  const char m2[] = "2nd";             // 4 bytes: would fit `small`
+  p.a->post_send(m1, sizeof(m1), 11);
+  p.a->post_send(m2, sizeof(m2), 12);
+
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_EQ(c.wrid, 1u);
+  EXPECT_EQ(c.bytes, sizeof(small));
+  EXPECT_EQ(std::memcmp(small, m1, sizeof(small)), 0);
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+  EXPECT_EQ(c.wrid, 2u);
+  EXPECT_EQ(c.bytes, sizeof(m2));
+  EXPECT_STREQ(roomy, "2nd");
+  p.a->quiesce();
+}
+
+TEST(TcpChannel, SocketFullBackpressuresWithoutDeadlock) {
+  // Far more bytes than any default socket buffer, receiver idle: the
+  // excess queues in the channel (tx_backlog), nothing blocks or drops.
+  TcpPair p;
+  constexpr int kMsgs = 32;
+  constexpr std::size_t kMsgBytes = 64 * 1024;
+  std::vector<std::vector<uint8_t>> payloads(kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    payloads[static_cast<std::size_t>(i)].assign(kMsgBytes,
+                                                 static_cast<uint8_t>(i));
+    p.a->post_send(payloads[static_cast<std::size_t>(i)].data(), kMsgBytes,
+                   static_cast<uint64_t>(i));
+  }
+  EXPECT_GT(p.a->tx_backlog(), 0u);
+
+  // Drain: every message arrives, in order, and every send completes.
+  Completion c{};
+  std::vector<uint8_t> rx(kMsgBytes);
+  for (int i = 0; i < kMsgs; ++i) {
+    p.b->post_recv(rx.data(), rx.size(), static_cast<uint64_t>(1000 + i));
+    ASSERT_TRUE(
+        poll_until([&](Completion& o) { return p.b->poll_rx(o); }, c));
+    EXPECT_EQ(c.wrid, static_cast<uint64_t>(1000 + i));
+    EXPECT_EQ(c.bytes, kMsgBytes);
+    EXPECT_EQ(rx, payloads[static_cast<std::size_t>(i)]);
+  }
+  int completions = 0;
+  while (completions < kMsgs) {
+    if (poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c)) {
+      ++completions;
+    } else {
+      break;
+    }
+  }
+  EXPECT_EQ(completions, kMsgs);
+  EXPECT_EQ(p.a->tx_backlog(), 0u);
+  EXPECT_EQ(p.a->stats().packets_tx, static_cast<uint64_t>(kMsgs));
+  EXPECT_EQ(p.b->stats().packets_rx, static_cast<uint64_t>(kMsgs));
+}
+
+TEST(TcpChannel, RdmaReadRoundTripsOverTheWire) {
+  TcpPair p;
+  std::vector<uint8_t> remote(4096);
+  std::iota(remote.begin(), remote.end(), 0);
+  std::vector<uint8_t> local(4096, 0);
+  p.a->post_rdma_read(local.data(), remote.data(), local.size(), 42);
+  Completion c{};
+  // Asynchronous (request/response frames), unlike shmem's direct copy.
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kRdmaRead);
+  EXPECT_EQ(c.wrid, 42u);
+  EXPECT_EQ(c.bytes, local.size());
+  EXPECT_FALSE(c.failed);
+  EXPECT_EQ(local, remote);
+  EXPECT_EQ(p.b->stats().rdma_reads_served, 1u);
+}
+
+TEST(TcpChannel, QuiesceSettlesBothDirections) {
+  TcpPair p;
+  const char ping[] = "ping", pong[] = "pong";
+  p.a->post_send(ping, sizeof(ping), 1);
+  p.b->post_send(pong, sizeof(pong), 2);
+  p.a->quiesce();
+  p.b->quiesce();
+  EXPECT_EQ(p.a->tx_backlog(), 0u);
+  Completion c{};
+  EXPECT_TRUE(p.a->poll_tx(c));
+  EXPECT_TRUE(p.b->poll_tx(c));
+}
+
+TEST(TcpChannel, SeveredEndpointDropsDataButFailsRdma) {
+  TcpPair p;
+  p.a->sever();
+  EXPECT_TRUE(p.a->severed());
+  // Drop model (NIC port gone dark): sends complete unfailed, counted as
+  // dropped — exactly the shmem/simnet severed contract.
+  p.a->post_send("lost", 5, 1);
+  Completion c{};
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kSend);
+  EXPECT_FALSE(c.failed);
+  EXPECT_EQ(p.a->stats().packets_dropped, 1u);
+  // RDMA reads are the failure-visible path: no data can come back.
+  uint8_t byte = 0;
+  p.a->post_rdma_read(&byte, &byte, 1, 2);
+  ASSERT_TRUE(poll_until([&](Completion& o) { return p.a->poll_tx(o); }, c));
+  EXPECT_EQ(c.kind, Completion::Kind::kRdmaRead);
+  EXPECT_TRUE(c.failed);
+  p.a->quiesce();  // must not hang on a dead endpoint
+}
+
+TEST(TcpChannel, ReportsModeledRailProperties) {
+  TcpConfig config;
+  config.uds_latency_us = 9.0;
+  config.bandwidth_GBps = 3.0;
+  ClusterConfig cc;
+  cc.tcp = config;
+  Cluster cluster(cc);
+  auto [a, b] = TcpTransport::create_loopback_pair(
+      cluster.tcp_node(0), cluster.tcp_node(1), "props",
+      Endpoint::Scheme::kUds);
+  EXPECT_DOUBLE_EQ(a->latency_us(), 9.0);
+  EXPECT_DOUBLE_EQ(b->bandwidth_GBps(), 3.0);
+  // The socket rail must advertise worse latency than shmem so hybrid
+  // rail selection keeps eager traffic on the fast path.
+  EXPECT_GT(a->latency_us(), ShmemConfig{}.latency_us);
+}
+
+TEST(TcpTransportFace, FactoryFacesAgree) {
+  Cluster cluster;
+  ITransport& tcp_side = cluster.transport(Backend::kTcp);
+  EXPECT_EQ(tcp_side.backend(), Backend::kTcp);
+  auto [ta, tb] = cluster.create_pair(Backend::kTcp, "t");
+  EXPECT_EQ(ta->backend(), Backend::kTcp);
+  EXPECT_EQ(ta->peer(), tb);
+  // One endpoint per node transport, not two on one.
+  EXPECT_EQ(cluster.tcp_node(0).channel_count(), 1u);
+  EXPECT_EQ(cluster.tcp_node(1).channel_count(), 1u);
+}
+
+// --------------------------------------------------- tcp policy + mesh
+
+TEST(BackendPolicy, FromEnvResolvesSocketBackends) {
+  TransportEnvGuard guard;
+  setenv("PIOM_TRANSPORT", "tcp", 1);
+  BackendPolicy tcp = BackendPolicy::from_env(4);
+  EXPECT_EQ(tcp.wiring(0, 3), PairWiring::kTcp);
+  setenv("PIOM_TRANSPORT", "uds", 1);
+  BackendPolicy uds = BackendPolicy::from_env(4);
+  EXPECT_EQ(uds.wiring(1, 2), PairWiring::kUds);
+}
+
+TEST(BackendPolicy, ShmemStillRefusesToCrossNodes) {
+  // kTcp joining the wiring vocabulary must not relax the check the
+  // backend table promises: shared memory cannot leave the node.
+  BackendPolicy cross;
+  cross.node_of = {0, 1};
+  cross.inter = PairWiring::kShmem;
+  EXPECT_THROW(cross.validate(2), std::invalid_argument);
+  cross.inter = PairWiring::kTcp;
+  cross.validate(2);  // sockets do cross nodes
+}
+
+TEST(ClusterMesh, HybridPlacementMixesShmemIntraWithTcpInter) {
+  Cluster cluster;
+  BackendPolicy policy;
+  policy.node_of = {0, 0, 1, 1};
+  policy.inter = PairWiring::kTcp;
+  const Cluster::MeshWiring mesh =
+      cluster.create_full_mesh(4, 1, {}, "mixtcp", policy);
+  ASSERT_EQ(mesh[0][1].size(), 1u);
+  EXPECT_EQ(mesh[0][1][0]->backend(), Backend::kShmem);
+  ASSERT_EQ(mesh[1][2].size(), 1u);
+  EXPECT_EQ(mesh[1][2][0]->backend(), Backend::kTcp);
+  EXPECT_EQ(mesh[1][2][0]->peer(), mesh[2][1][0]);
+  // The socket pair really carries traffic inside the mesh.
+  uint32_t msg = 0xabcd1234, rx = 0;
+  mesh[2][1][0]->post_recv(&rx, sizeof(rx), 1);
+  mesh[1][2][0]->post_send(&msg, sizeof(msg), 2);
+  Completion c{};
+  ASSERT_TRUE(poll_until(
+      [&](Completion& o) { return mesh[2][1][0]->poll_rx(o); }, c));
+  EXPECT_EQ(rx, msg);
+}
+
+// ------------------------------------------------------------- endpoints
+
+TEST(Endpoint, ParsesAndRoundTripsSocketUris) {
+  const Endpoint t = Endpoint::parse("tcp://127.0.0.1:7777");
+  EXPECT_EQ(t.scheme, Endpoint::Scheme::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 7777);
+  EXPECT_EQ(t.uri(), "tcp://127.0.0.1:7777");
+  const Endpoint u = Endpoint::parse("uds:///tmp/x.sock");
+  EXPECT_EQ(u.scheme, Endpoint::Scheme::kUds);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  EXPECT_EQ(u.uri(), "uds:///tmp/x.sock");
+  EXPECT_EQ(Endpoint::parse("shmem://").scheme, Endpoint::Scheme::kShmem);
+  EXPECT_EQ(Endpoint::parse("sim://").scheme, Endpoint::Scheme::kSim);
+}
+
+TEST(Endpoint, RejectsJunkUris) {
+  EXPECT_THROW((void)Endpoint::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("carrier-pigeon://x"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp://"), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp://host"), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp://host:notaport"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp://host:99999"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("uds://"), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("uds://relative/path"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("shmem://an-address"),
+               std::invalid_argument);
 }
 
 }  // namespace

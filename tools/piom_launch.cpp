@@ -1,0 +1,118 @@
+// piom_launch: run a piom program as N true OS processes.
+//
+//     piom_launch -n 4 [--root <uri>] -- ./example_multiprocess_ring [args]
+//
+// fork/execs the command once per rank with the bootstrap environment
+// exported into each child:
+//
+//     PIOM_RANK      = 0 .. n-1
+//     PIOM_NRANKS    = n
+//     PIOM_ROOT_ADDR = the rendezvous address (default: a Unix socket
+//                      under /tmp keyed by this launcher's pid)
+//
+// The children call transport::Bootstrap::from_env() (usually through
+// mpi::World::local) to wire themselves into a socket mesh. The launcher
+// waits for all ranks and exits nonzero if any rank does — killing the
+// remaining ranks so a wedged cluster cannot outlive a failed one.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -n <nranks> [--root <tcp://host:port|uds:///path>] "
+               "-- <command> [args...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nranks = 0;
+  std::string root_addr;
+  int cmd_start = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      nranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root_addr = argv[++i];
+    } else if (std::strcmp(argv[i], "--") == 0) {
+      cmd_start = i + 1;
+      break;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (nranks < 2 || cmd_start < 0 || cmd_start >= argc) return usage(argv[0]);
+  if (root_addr.empty()) {
+    root_addr = "uds:///tmp/piom-launch-" + std::to_string(::getpid()) +
+                ".sock";
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  for (int rank = 0; rank < nranks; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("piom_launch: fork");
+      for (const pid_t p : pids) {
+        if (p > 0) ::kill(p, SIGKILL);
+      }
+      return 1;
+    }
+    if (pid == 0) {
+      ::setenv("PIOM_RANK", std::to_string(rank).c_str(), 1);
+      ::setenv("PIOM_NRANKS", std::to_string(nranks).c_str(), 1);
+      ::setenv("PIOM_ROOT_ADDR", root_addr.c_str(), 1);
+      ::execvp(argv[cmd_start], argv + cmd_start);
+      std::perror("piom_launch: execvp");
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(rank)] = pid;
+  }
+
+  int exit_code = 0;
+  for (int remaining = nranks; remaining > 0; --remaining) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) {
+        ++remaining;
+        continue;
+      }
+      std::perror("piom_launch: waitpid");
+      exit_code = 1;
+      break;
+    }
+    int rank = -1;
+    for (int r = 0; r < nranks; ++r) {
+      if (pids[static_cast<std::size_t>(r)] == pid) rank = r;
+    }
+    const bool failed =
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0;
+    if (failed) {
+      std::fprintf(stderr, "piom_launch: rank %d (pid %d) %s %d\n", rank,
+                   static_cast<int>(pid),
+                   WIFSIGNALED(status) ? "killed by signal" : "exited with",
+                   WIFSIGNALED(status) ? WTERMSIG(status)
+                                       : WEXITSTATUS(status));
+      if (exit_code == 0) {
+        exit_code = 1;
+        // One rank down means the cluster cannot complete: reap the rest
+        // instead of letting them spin against a dead peer.
+        for (const pid_t p : pids) {
+          if (p > 0 && p != pid) ::kill(p, SIGTERM);
+        }
+      }
+    }
+  }
+  return exit_code;
+}
