@@ -39,12 +39,24 @@ void CollOp::start(Comm& comm, Algo algo, uint32_t epoch) {
 }
 
 void CollOp::start_barrier(Comm& comm, uint32_t epoch) {
-  start(comm, Algo::kBarrier, epoch);
+  // Sparse overlays swap the dissemination pattern (ranks ±2^k — mostly
+  // off-view peers) for a fan-in/fan-out over the membership tree, whose
+  // edges all have live gates. Same for bcast/allreduce below; gather,
+  // scatter and alltoall keep their dense algorithms (rooted/pairwise data
+  // movement is inherently all-pairs — the reserved-direct rule in
+  // Comm::isend_reserved wires their gates on demand).
+  start(comm,
+        comm.membership().sparse_collectives() ? Algo::kBarrierTree
+                                               : Algo::kBarrier,
+        epoch);
 }
 
 void CollOp::start_bcast(Comm& comm, uint32_t epoch, void* buf,
                          std::size_t len, int root) {
-  start(comm, Algo::kBcast, epoch);
+  start(comm,
+        comm.membership().sparse_collectives() ? Algo::kBcastTree
+                                               : Algo::kBcast,
+        epoch);
   buf_ = buf;
   len_ = len;
   root_ = root;
@@ -54,6 +66,18 @@ void CollOp::start_allreduce(Comm& comm, uint32_t epoch, void* data,
                              std::size_t count, std::size_t elem_size,
                              coll_detail::CombineFn combine, ReduceOp op) {
   const int n = comm.size();
+  if (comm.membership().sparse_collectives()) {
+    start(comm, Algo::kAllreduceTree, epoch);
+    buf_ = data;
+    count_ = count;
+    esize_ = elem_size;
+    combine_ = combine;
+    rop_ = op;
+    // One slot per child: the up phase receives every child's partial
+    // vector concurrently.
+    scratch_.resize(comm.membership().children().size() * count * elem_size);
+    return;
+  }
   const bool pow2 = (n & (n - 1)) == 0;
   start(comm, pow2 ? Algo::kAllreduceRd : Algo::kAllreduceRing, epoch);
   buf_ = data;
@@ -165,10 +189,10 @@ bool CollOp::advance_failing() {
     if (r.done()) continue;
     if (!r.is_send()) {
       nmad::RecvRequest& rr = r.recv_req();
-      if (rr.wild_gates != nullptr) {
-        for (nmad::Gate* g : *rr.wild_gates) {
-          if (g != nullptr && g->cancel_recv(rr)) break;
-        }
+      if (rr.wild_set != nullptr) {
+        rr.wild_set->cancel(rr);
+      } else if (rr.port != nullptr) {
+        rr.port->cancel_recv(rr);
       } else if (rr.gate != nullptr) {
         rr.gate->cancel_recv(rr);
       }
@@ -192,6 +216,9 @@ bool CollOp::step() {
     case Algo::kGather: return step_gather();
     case Algo::kScatter: return step_scatter();
     case Algo::kAlltoall: return step_alltoall();
+    case Algo::kBarrierTree: return step_barrier_tree();
+    case Algo::kBcastTree: return step_bcast_tree();
+    case Algo::kAllreduceTree: return step_allreduce_tree();
   }
   return false;
 }
@@ -372,6 +399,128 @@ bool CollOp::step_alltoall() {
   post_send(dst, t, in + static_cast<std::size_t>(dst) * len_, len_);
   ++cursor_;
   return true;
+}
+
+// -- sparse-overlay tree variants ------------------------------------------
+//
+// All three walk the membership's heap tree (root rank 0, fanout f): every
+// edge is parent<->child and therefore has — or lazily gets — a live gate
+// inside the view, so an N-rank collective costs each rank O(f) gates and
+// O(log_f N) latency instead of the dense algorithms' O(N)/O(log2 N)-over-
+// arbitrary-pairs pattern. The tree is rooted at rank 0 regardless of the
+// API-level root; a rooted bcast first hands the payload to rank 0.
+
+bool CollOp::step_barrier_tree() {
+  // Fan-in to rank 0 (a rank reports once its subtree has), then fan-out
+  // back down: when the release token reaches a rank every rank has
+  // entered the barrier.
+  const Membership& m = comm_->membership();
+  const int rank = comm_->rank();
+  if (stage_ == 0) {
+    stage_ = 1;
+    for (int c : m.children()) {
+      post_recv(c, tag(CollTagKind::kBarrier, 0), nullptr, 0);
+    }
+    if (!m.children().empty()) return true;
+  }
+  if (stage_ == 1) {
+    stage_ = 2;
+    if (rank != 0) {
+      post_send(m.parent(), tag(CollTagKind::kBarrier, 0), nullptr, 0);
+      post_recv(m.parent(), tag(CollTagKind::kBarrier, 1), nullptr, 0);
+      return true;
+    }
+  }
+  if (stage_ == 2) {
+    stage_ = 3;
+    for (int c : m.children()) {
+      post_send(c, tag(CollTagKind::kBarrier, 1), nullptr, 0);
+    }
+    if (!m.children().empty()) return true;
+  }
+  return false;
+}
+
+bool CollOp::step_bcast_tree() {
+  // The tree is rooted at rank 0; a bcast from another root starts with a
+  // direct handoff root -> rank 0 (phase 1 tag), then floods down the tree
+  // (phase 0 tag). The root also gets its payload back through the tree —
+  // a redundant copy into its own buffer, kept for uniformity.
+  const Membership& m = comm_->membership();
+  const int rank = comm_->rank();
+  if (stage_ == 0) {
+    stage_ = 1;
+    if (root_ != 0) {
+      const Tag t = tag(CollTagKind::kBcast, 1);
+      if (rank == root_) {
+        post_send(0, t, buf_, len_);
+        return true;
+      }
+      if (rank == 0) {
+        post_recv(root_, t, buf_, len_);
+        return true;
+      }
+    }
+  }
+  if (stage_ == 1) {
+    stage_ = 2;
+    if (rank != 0) {
+      post_recv(m.parent(), tag(CollTagKind::kBcast, 0), buf_, len_);
+      return true;  // forward only once the payload has landed
+    }
+  }
+  if (stage_ == 2) {
+    stage_ = 3;
+    for (int c : m.children()) {
+      post_send(c, tag(CollTagKind::kBcast, 0), buf_, len_);
+    }
+    if (!m.children().empty()) return true;
+  }
+  return false;
+}
+
+bool CollOp::step_allreduce_tree() {
+  // Reduce up (every rank combines its children's partials into buf_, then
+  // reports to its parent), broadcast the final vector back down. The
+  // up-send and the down-receive are separate rounds on purpose: both name
+  // buf_, and a rendezvous up-send pulls from the buffer at FIN time — the
+  // down-receive must not be writing into it concurrently.
+  const Membership& m = comm_->membership();
+  const int rank = comm_->rank();
+  const std::size_t bytes = count_ * esize_;
+  if (stage_ == 0) {
+    stage_ = 1;
+    const Tag t = tag(CollTagKind::kAllreduceUp, 0);
+    for (std::size_t i = 0; i < m.children().size(); ++i) {
+      post_recv(m.children()[i], t, scratch_.data() + i * bytes, bytes);
+    }
+    if (!m.children().empty()) return true;
+  }
+  if (stage_ == 1) {
+    stage_ = 2;
+    for (std::size_t i = 0; i < m.children().size(); ++i) {
+      combine_(buf_, scratch_.data() + i * bytes, count_, rop_);
+    }
+    if (rank != 0) {
+      post_send(m.parent(), tag(CollTagKind::kAllreduceUp, 0), buf_, bytes);
+      return true;
+    }
+  }
+  if (stage_ == 2) {
+    stage_ = 3;
+    if (rank != 0) {
+      post_recv(m.parent(), tag(CollTagKind::kAllreduceDown, 0), buf_, bytes);
+      return true;
+    }
+  }
+  if (stage_ == 3) {
+    stage_ = 4;
+    for (int c : m.children()) {
+      post_send(c, tag(CollTagKind::kAllreduceDown, 0), buf_, bytes);
+    }
+    if (!m.children().empty()) return true;
+  }
+  return false;
 }
 
 }  // namespace piom::mpi

@@ -53,12 +53,14 @@ enum class ReduceOp { kSum, kMax, kMin };
 enum class CollTagKind : uint32_t {
   kBarrier = 0,
   kBcast = 1,
-  kAllreduceRd = 2,  ///< recursive-doubling exchange (power-of-two N)
-  kAllreduceRs = 3,  ///< ring reduce-scatter step
-  kAllreduceAg = 4,  ///< ring allgather step
+  kAllreduceRd = 2,    ///< recursive-doubling exchange (power-of-two N)
+  kAllreduceRs = 3,    ///< ring reduce-scatter step
+  kAllreduceAg = 4,    ///< ring allgather step
   kGather = 5,
   kScatter = 6,
   kAlltoall = 7,
+  kAllreduceUp = 8,    ///< tree allreduce: child -> parent partials
+  kAllreduceDown = 9,  ///< tree allreduce: parent -> child result
 };
 
 inline constexpr uint32_t kCollEpochMask = 0xfffu;
@@ -146,6 +148,12 @@ class CollOp {
     kGather,
     kScatter,
     kAlltoall,
+    // Sparse-overlay variants: every edge is a membership-view (tree)
+    // edge, so an N-rank collective touches O(fanout) gates per rank
+    // instead of O(N) — selected when Membership::sparse_collectives().
+    kBarrierTree,    ///< fan-in to the tree root, fan-out back
+    kBcastTree,      ///< root hands off to rank 0, then tree flood
+    kAllreduceTree,  ///< reduce up the tree, broadcast the result down
   };
 
   // start_*: reset the handle, record parameters, pick the algorithm.
@@ -179,6 +187,9 @@ class CollOp {
   bool step_gather();
   bool step_scatter();
   bool step_alltoall();
+  bool step_barrier_tree();
+  bool step_bcast_tree();
+  bool step_allreduce_tree();
 
   [[nodiscard]] Tag tag(CollTagKind kind, uint32_t phase) const {
     return make_coll_tag(kind, epoch_, phase);

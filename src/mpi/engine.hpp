@@ -30,11 +30,12 @@ class Engine {
                      std::size_t len) = 0;
   virtual void irecv(Request& req, nmad::Gate& gate, Tag tag, void* buf,
                      std::size_t cap) = 0;
-  /// Any-source receive (MPI_ANY_SOURCE): match the first arrival with
-  /// `tag` across `gates` (null entries skipped — the by-peer table has a
-  /// hole at the rank's own slot). `gates` must outlive completion.
-  virtual void irecv_any(Request& req, const std::vector<nmad::Gate*>& gates,
-                         Tag tag, void* buf, std::size_t cap) = 0;
+  /// Any-source receive (MPI_ANY_SOURCE): register with the membership's
+  /// wildcard registry, which covers every existing gate, every gate
+  /// created later (lazy wiring), and the forward inbox. `wilds` must
+  /// outlive completion.
+  virtual void irecv_any(Request& req, nmad::WildSet& wilds, Tag tag,
+                         void* buf, std::size_t cap) = 0;
   /// Block until `req` completes.
   virtual void wait(Request& req) = 0;
   /// Nonblocking completion check (may drive progress, like MPI_Test).

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "mpi/coll.hpp"
+#include "nmad/wildset.hpp"
 
 namespace piom::mpi {
 
@@ -39,14 +40,13 @@ void GlobalLockEngine::irecv(Request& req, nmad::Gate& gate, Tag tag,
   }
 }
 
-void GlobalLockEngine::irecv_any(Request& req,
-                                 const std::vector<nmad::Gate*>& gates,
-                                 Tag tag, void* buf, std::size_t cap) {
+void GlobalLockEngine::irecv_any(Request& req, nmad::WildSet& wilds, Tag tag,
+                                 void* buf, std::size_t cap) {
   req.arm(/*is_send=*/false);
   {
     lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(big_lock_);
-    nmad::irecv_any_source(req.recv_req(), gates, tag, buf, cap);
+    wilds.post(req.recv_req(), tag, buf, cap);
     session_.progress();
   }
 }

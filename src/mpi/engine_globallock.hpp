@@ -40,8 +40,8 @@ class GlobalLockEngine final : public Engine {
              std::size_t len) override;
   void irecv(Request& req, nmad::Gate& gate, Tag tag, void* buf,
              std::size_t cap) override;
-  void irecv_any(Request& req, const std::vector<nmad::Gate*>& gates, Tag tag,
-                 void* buf, std::size_t cap) override;
+  void irecv_any(Request& req, nmad::WildSet& wilds, Tag tag, void* buf,
+                 std::size_t cap) override;
   void wait(Request& req) override;
   bool test(Request& req) override;
   bool test_coll(CollOp& op) override;

@@ -1,6 +1,7 @@
 #include "mpi/engine_pioman.hpp"
 
 #include "mpi/coll.hpp"
+#include "nmad/wildset.hpp"
 #include "util/log.hpp"
 
 namespace piom::mpi {
@@ -77,26 +78,35 @@ void PiomanEngine::release_submit_job(SubmitJob* job) {
 void PiomanEngine::start_progress() {
   if (started_) return;
   started_ = true;
+  for (std::size_t g = 0; g < session_.gate_count(); ++g) {
+    watch_gate(session_.gate(g));
+  }
+}
+
+void PiomanEngine::watch_gate(nmad::Gate& gate) {
   // One repeatable polling task per (gate, rail). Paper §IV-B: "In order to
   // maintain polling affinity, the CPU set attached to these tasks contains
   // the cores that share a cache with the current CPU." We spread the tasks
   // across the node and give each the cache-sibling set of its home core.
-  int home = 0;
-  for (std::size_t g = 0; g < session_.gate_count(); ++g) {
-    nmad::Gate& gate = session_.gate(g);
-    for (int r = 0; r < gate.nrails(); ++r) {
-      poll_tasks_.emplace_back();
-      PollTask& pt = poll_tasks_.back();
-      pt.gate = &gate;
-      pt.rail = r;
-      pt.engine = this;
-      const topo::CpuSet cpus = machine_.siblings_sharing_cache(home);
-      home = (home + 1) % machine_.ncpus();
-      pt.task.init(&poll_trampoline, &pt, cpus,
-                   piom::kTaskRepeat | piom::kTaskNotify);
-      tm_.submit(&pt.task);
-    }
+  poll_lock_.lock();
+  if (stopping_.load(std::memory_order_acquire) ||
+      !watched_.insert(&gate).second) {
+    poll_lock_.unlock();
+    return;
   }
+  for (int r = 0; r < gate.nrails(); ++r) {
+    poll_tasks_.emplace_back();
+    PollTask& pt = poll_tasks_.back();
+    pt.gate = &gate;
+    pt.rail = r;
+    pt.engine = this;
+    const topo::CpuSet cpus = machine_.siblings_sharing_cache(home_);
+    home_ = (home_ + 1) % machine_.ncpus();
+    pt.task.init(&poll_trampoline, &pt, cpus,
+                 piom::kTaskRepeat | piom::kTaskNotify);
+    tm_.submit(&pt.task);
+  }
+  poll_lock_.unlock();
 }
 
 void PiomanEngine::isend(Request& req, nmad::Gate& gate, Tag tag,
@@ -132,11 +142,10 @@ void PiomanEngine::irecv(Request& req, nmad::Gate& gate, Tag tag, void* buf,
   gate.irecv(req.recv_req(), tag, buf, cap);
 }
 
-void PiomanEngine::irecv_any(Request& req,
-                             const std::vector<nmad::Gate*>& gates, Tag tag,
+void PiomanEngine::irecv_any(Request& req, nmad::WildSet& wilds, Tag tag,
                              void* buf, std::size_t cap) {
   req.arm(/*is_send=*/false);
-  nmad::irecv_any_source(req.recv_req(), gates, tag, buf, cap);
+  wilds.post(req.recv_req(), tag, buf, cap);
 }
 
 void PiomanEngine::wait(Request& req) {
@@ -179,9 +188,17 @@ void PiomanEngine::shutdown() {
   while (submit_jobs_in_flight_.load(std::memory_order_acquire) > 0) {
     runtime_.schedule_here();
   }
-  // Poll tasks observe stopping_ on their next execution and finish.
-  for (PollTask& pt : poll_tasks_) {
-    pt.task.wait_done();
+  // Poll tasks observe stopping_ on their next execution and finish. Wait
+  // on a snapshot taken under the lock: watch_gate refuses new gates once
+  // stopping_ is set (checked under the same lock), so the snapshot is
+  // complete; waiting itself must not hold the lock (tasks may be mid-run).
+  poll_lock_.lock();
+  std::vector<PollTask*> draining;
+  draining.reserve(poll_tasks_.size());
+  for (PollTask& pt : poll_tasks_) draining.push_back(&pt);
+  poll_lock_.unlock();
+  for (PollTask* pt : draining) {
+    pt->task.wait_done();
   }
   if (timer_) timer_->stop();
   runtime_.stop();

@@ -15,8 +15,9 @@
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <vector>
 #include <optional>
+#include <unordered_set>
+#include <vector>
 
 #include "core/task_manager.hpp"
 #include "mpi/engine.hpp"
@@ -44,15 +45,23 @@ class PiomanEngine final : public Engine {
   PiomanEngine(nmad::Session& session, PiomanEngineConfig config = {});
   ~PiomanEngine() override;
 
-  /// Install one repeatable polling task per (gate, rail).
+  /// Install one repeatable polling task per (gate, rail) for the gates
+  /// that exist now. Gates created later (lazy wiring) must be handed to
+  /// watch_gate() — the membership layer's on_gate_created hook does.
   void start_progress();
+
+  /// Start background polling of a (possibly late) gate: one repeatable
+  /// poll task per rail. Idempotent per gate, thread-safe (lazy gates are
+  /// installed from whichever thread first talks to the peer, including
+  /// poll tasks relaying forwarded traffic); a no-op once shutdown began.
+  void watch_gate(nmad::Gate& gate);
 
   void isend(Request& req, nmad::Gate& gate, Tag tag, const void* buf,
              std::size_t len) override;
   void irecv(Request& req, nmad::Gate& gate, Tag tag, void* buf,
              std::size_t cap) override;
-  void irecv_any(Request& req, const std::vector<nmad::Gate*>& gates, Tag tag,
-                 void* buf, std::size_t cap) override;
+  void irecv_any(Request& req, nmad::WildSet& wilds, Tag tag, void* buf,
+                 std::size_t cap) override;
   void wait(Request& req) override;
   bool test(Request& req) override;
   bool test_coll(CollOp& op) override;
@@ -94,7 +103,14 @@ class PiomanEngine final : public Engine {
   TaskManager tm_;
   sched::Runtime runtime_;
   std::optional<sched::TimerHook> timer_;
+  /// Poll-task table. The deque grows while tasks run (late gates), so the
+  /// lock guards every structural access; PollTask storage is stable once
+  /// emplaced. watched_ dedups watch_gate; home_ round-robins task
+  /// placement across the node's cores.
+  sync::SpinLock poll_lock_;
   std::deque<PollTask> poll_tasks_;
+  std::unordered_set<nmad::Gate*> watched_;
+  int home_ = 0;
   sync::SpinLock submit_pool_lock_;
   SubmitJob* submit_pool_ = nullptr;
   std::vector<std::unique_ptr<SubmitJob>> submit_jobs_;  // storage owner

@@ -61,11 +61,11 @@ void FailureDetector::tick() {
   }
   const bool first_verdict = !newly_dead.empty() && !revoked_all_;
   if (first_verdict) revoked_all_ = true;
-  // Snapshot the callback, invoke it after unlock: the detector's SpinLock
-  // is not reentrant, and the callback is user code that may well call back
-  // into the detector (rank_failed, on_rank_failed, ...).
-  std::function<void(int)> cb;
-  if (!newly_dead.empty()) cb = callback_;
+  // Snapshot the callbacks, invoke them after unlock: the detector's
+  // SpinLock is not reentrant, and callbacks are user code that may well
+  // call back into the detector (rank_failed, mark_dead_external, ...).
+  std::vector<std::function<void(int)>> cbs;
+  if (!newly_dead.empty()) cbs = callbacks_;
   lock_.unlock();
   if (first_verdict) {
     // Every in-flight and future collective on this rank is poisoned now
@@ -80,9 +80,37 @@ void FailureDetector::tick() {
                                    /*value=*/nmad::kReservedTagBase);
     }
   }
-  if (cb) {
+  for (const auto& cb : cbs) {
     for (int peer : newly_dead) cb(peer);
   }
+}
+
+void FailureDetector::mark_dead_external(int peer) {
+  if (peer < 0 || peer >= nranks_ || peer == rank_) return;
+  lock_.lock();
+  if (dead_[static_cast<std::size_t>(peer)].load(std::memory_order_relaxed)) {
+    lock_.unlock();
+    return;
+  }
+  dead_[static_cast<std::size_t>(peer)].store(true, std::memory_order_release);
+  any_failed_.store(true, std::memory_order_release);
+  const bool first_verdict = !revoked_all_;
+  if (first_verdict) revoked_all_ = true;
+  std::vector<std::function<void(int)>> cbs = callbacks_;
+  lock_.unlock();
+  // Evict outside the lock (fail_peer is idempotent + thread-safe, and may
+  // wake waiters that re-enter progress paths that tick this detector).
+  for (std::size_t g = 0; g < session_.gate_count(); ++g) {
+    nmad::Gate& gate = session_.gate(g);
+    if (gate.peer_rank() == peer) gate.fail_peer();
+  }
+  if (first_verdict) {
+    for (std::size_t g = 0; g < session_.gate_count(); ++g) {
+      session_.gate(g).revoke_tags(/*mask=*/nmad::kReservedTagBase,
+                                   /*value=*/nmad::kReservedTagBase);
+    }
+  }
+  for (const auto& cb : cbs) cb(peer);
 }
 
 bool FailureDetector::rank_failed(int rank) const {
@@ -103,7 +131,7 @@ std::vector<int> FailureDetector::failed_ranks() const {
 
 void FailureDetector::on_rank_failed(std::function<void(int)> cb) {
   lock_.lock();
-  callback_ = std::move(cb);
+  callbacks_.push_back(std::move(cb));
   lock_.unlock();
 }
 

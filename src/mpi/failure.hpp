@@ -71,8 +71,18 @@ class FailureDetector {
   /// back into the detector (rank_failed, even on_rank_failed) is safe.
   /// Keep it cheap and non-blocking all the same. Callbacks for ranks
   /// detected in different passes may run concurrently (each rank is still
-  /// reported exactly once).
+  /// reported exactly once). May be called repeatedly: callbacks accumulate
+  /// (the membership layer and tests each install their own).
   void on_rank_failed(std::function<void(int)> cb);
+
+  /// Adopt a remote verdict (a membership death notice): declare `peer`
+  /// failed exactly as a local timeout would — evict its gate if one
+  /// exists, revoke the reserved tag space on first verdict, and run the
+  /// callbacks. Idempotent per rank; no-op for self/out-of-range. This is
+  /// what closes the sparse-overlay detection gap: a rank with no gate to
+  /// the victim cannot time it out locally, so survivors flood the verdict
+  /// along the overlay instead.
+  void mark_dead_external(int peer);
 
   [[nodiscard]] const FailureConfig& config() const { return config_; }
   [[nodiscard]] int rank() const { return rank_; }
@@ -90,7 +100,7 @@ class FailureDetector {
   /// Indexed by rank; lock-free reads from rank_failed()/failed_ranks().
   std::unique_ptr<std::atomic<bool>[]> dead_;
   sync::SpinLock lock_;  ///< serializes passes + callback installation
-  std::function<void(int)> callback_;
+  std::vector<std::function<void(int)>> callbacks_;
   /// First-verdict latch: the whole reserved (collective) tag space has
   /// been revoked on the live gates. Guarded by lock_.
   bool revoked_all_ = false;

@@ -52,17 +52,30 @@ void LocalRank::init(
     const RankConfig& config) {
   session_ = std::make_unique<nmad::Session>(
       "rank" + std::to_string(rank_), config.session);
-  // One gate per peer, indexed by peer rank for Comm routing.
-  std::vector<nmad::Gate*> gates(static_cast<std::size_t>(nranks_), nullptr);
+  // The membership layer owns the by-peer gate table and the routing
+  // policy; its constructor installs the session's forward handler and the
+  // wildcard registry's inbox port, so it must exist before any gate.
+  membership_ = std::make_unique<Membership>(
+      *session_, rank_, nranks_,
+      resolve_overlay_mode(config.overlay, nranks_),
+      resolve_overlay_fanout(config.overlay));
+  // Eagerly install the gates whose rails the caller provided (the
+  // multi-process bootstrap shape wires every peer upfront; World passes
+  // all-empty entries and relies on lazy connection instead).
   for (int peer = 0; peer < nranks_; ++peer) {
     if (peer == rank_) continue;
-    gates[static_cast<std::size_t>(peer)] = &session_->create_gate(
-        rails_by_peer[static_cast<std::size_t>(peer)], peer);
+    const auto& rails = rails_by_peer[static_cast<std::size_t>(peer)];
+    if (!rails.empty()) membership_->install_gate(peer, rails);
   }
   switch (config.engine) {
     case EngineKind::kPioman: {
       auto engine = std::make_unique<PiomanEngine>(*session_, config.pioman);
-      engine->start_progress();
+      engine->start_progress();  // covers the eager gates above
+      // Gates installed from here on (lazy wiring) join the poll set
+      // through the membership's creation hook.
+      PiomanEngine* raw = engine.get();
+      membership_->set_on_gate_created(
+          [raw](nmad::Gate& g) { raw->watch_gate(g); });
       engine_ = std::move(engine);
       break;
     }
@@ -85,8 +98,9 @@ void LocalRank::init(
     detector_ = std::make_unique<FailureDetector>(*session_, rank_, nranks_,
                                                   config.failure);
     engine_->attach_detector(detector_.get());
+    membership_->attach_detector(detector_.get());
   }
-  comm_.reset(new Comm(rank_, engine_.get(), std::move(gates)));
+  comm_.reset(new Comm(rank_, engine_.get(), membership_.get(), nranks_));
 }
 
 LocalRank::~LocalRank() { shutdown(); }

@@ -15,6 +15,7 @@
 #include "mpi/engine.hpp"
 #include "mpi/engine_pioman.hpp"
 #include "mpi/failure.hpp"
+#include "mpi/membership.hpp"
 #include "nmad/session.hpp"
 #include "transport/bootstrap.hpp"
 #include "transport/channel.hpp"
@@ -37,6 +38,8 @@ struct RankConfig {
   PiomanEngineConfig pioman{};
   /// Heartbeat failure detection (off by default — see mpi/failure.hpp).
   FailureConfig failure{};
+  /// Overlay topology (dense/sparse view + routing; see mpi/membership.hpp).
+  OverlayConfig overlay{};
 };
 
 class Comm;
@@ -44,8 +47,11 @@ class Comm;
 class LocalRank {
  public:
   /// In-process rank: the caller provides the rail channels towards each
-  /// peer (rails_by_peer[peer]; the self entry must be empty). Channels
-  /// must outlive this rank — World keeps them alive via its Cluster.
+  /// peer (rails_by_peer[peer]; the self entry must be empty). An empty
+  /// peer entry means "no eager gate" — the pair is wired lazily through
+  /// the membership's connector on first contact (World's default shape).
+  /// Channels must outlive this rank — World keeps them alive via its
+  /// Cluster.
   LocalRank(int rank, int nranks,
             const std::vector<std::vector<transport::IChannel*>>&
                 rails_by_peer,
@@ -67,6 +73,8 @@ class LocalRank {
   [[nodiscard]] Comm& comm() { return *comm_; }
   [[nodiscard]] Engine& engine() { return *engine_; }
   [[nodiscard]] nmad::Session& session() { return *session_; }
+  /// Overlay/routing layer (gate table, view, forwarding, wildcards).
+  [[nodiscard]] Membership& membership() { return *membership_; }
   /// Null unless RankConfig::failure.enabled.
   [[nodiscard]] FailureDetector* detector() { return detector_.get(); }
   /// Null for in-process ranks.
@@ -83,10 +91,12 @@ class LocalRank {
   int rank_;
   int nranks_;
   // Destruction order matters: comm_ and detector_ go first, then the
-  // engine (stops progress threads), then the session, and the bootstrap's
-  // transport — which the session's channels live on — very last.
+  // engine (stops progress threads), then the membership and the session
+  // it references, and the bootstrap's transport — which the session's
+  // channels live on — very last.
   std::unique_ptr<transport::Bootstrap> bootstrap_;
   std::unique_ptr<nmad::Session> session_;
+  std::unique_ptr<Membership> membership_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<Comm> comm_;

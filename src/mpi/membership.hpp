@@ -1,0 +1,329 @@
+// Membership: the per-rank overlay/routing layer that replaces the eager
+// full mesh. Each rank owns a table of lazily created gates plus a *view* —
+// the O(log N) set of peers it keeps (or is willing to keep) direct links
+// to — and routes everything else hop by hop along the view.
+//
+// Two modes, selected by WorldConfig::overlay / $PIOM_OVERLAY:
+//
+//   * kDense  — the classic shape: every peer is "in view", next_hop(d) is
+//     always d, nothing is ever forwarded. Gates are still created lazily
+//     (on first send/recv towards a peer), so a world whose traffic touches
+//     k pairs pays O(k) gates instead of O(N²) channels up front.
+//   * kSparse — the view is a fanout-f heap tree (parent (r-1)/f, children
+//     f·r+1 … f·r+f) plus the ring neighbours r±1: at most f+3 peers.
+//     Application point-to-point traffic towards a peer OUTSIDE the view is
+//     forwarded along the tree in kForward fragments (nmad/types.hpp) —
+//     each hop rides the reliability layer, so the per-hop guarantee
+//     composes end to end. Traffic towards view peers, and ALL
+//     reserved-tag (collective/internal) traffic, stays on direct gates.
+//
+// The symmetry rule matters: in_view is symmetric (tree and ring edges are
+// undirected), and both endpoints of a non-view pair forward — never one
+// direct and one forwarded, which would deadlock tag matching (the direct
+// half would land on a gate the other side never posts receives on).
+//
+// Failure handling in sparse mode needs one extra mechanism: a rank with no
+// gate to the victim cannot time it out locally, so survivors that DO hold
+// a verdict flood a death notice (kForward frame, dst = kForwardFloodDst,
+// tag = kDeathNoticeTag, payload = the dead rank) along the view;
+// receivers adopt it via FailureDetector::mark_dead_external and re-flood
+// once (epidemic/gossip dissemination, deduplicated per dead rank).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "nmad/session.hpp"
+#include "nmad/wildset.hpp"
+#include "sync/spinlock.hpp"
+#include "transport/channel.hpp"
+
+namespace piom::mpi {
+
+class FailureDetector;
+class Membership;
+
+using Tag = nmad::Tag;
+
+enum class OverlayMode {
+  kDense,   ///< full logical mesh, lazy gates, no forwarding
+  kSparse,  ///< tree+ring view, multi-hop forwarding, tree collectives
+};
+
+[[nodiscard]] const char* overlay_mode_name(OverlayMode m);
+
+/// Overlay/membership knobs (WorldConfig::overlay; RankConfig::overlay).
+/// Unset fields defer to the environment at World/LocalRank construction.
+struct OverlayConfig {
+  /// Unset: $PIOM_OVERLAY = dense | sparse | auto (default auto). auto
+  /// picks sparse when nranks >= the sparse threshold, dense below it.
+  std::optional<OverlayMode> mode{};
+  /// Tree fanout (>= 1). 0: $PIOM_FANOUT (default 4).
+  int fanout = 0;
+  /// auto cut-over point. 0: $PIOM_SPARSE_THRESHOLD (default 32).
+  int sparse_threshold = 0;
+};
+
+/// Resolve the mode for an N-rank world (throws std::invalid_argument on a
+/// malformed $PIOM_OVERLAY — junk must not silently pick a topology).
+[[nodiscard]] OverlayMode resolve_overlay_mode(const OverlayConfig& config,
+                                               int nranks);
+/// Resolve the tree fanout (>= 1 enforced).
+[[nodiscard]] int resolve_overlay_fanout(const OverlayConfig& config);
+
+/// Sentinel tag of a death-notice flood frame. Lives at the very top of the
+/// reserved space (above every collective window, below kAnyTag), only ever
+/// appears inside kForward frames with dst == kForwardFloodDst, and is
+/// never posted to a gate matcher — so it cannot collide with, or be
+/// claimed by, any receive.
+inline constexpr Tag kDeathNoticeTag = 0xfffffffeu;
+
+/// Creates + installs the gate pair for (this rank, peer) on demand: wires
+/// the transport channels (both directions) and calls
+/// Membership::install_gate on BOTH ranks' memberships — the peer's side
+/// first, so its gate is being polled before our first packet can arrive.
+/// Installed by World (in-process) before any traffic; must be idempotent
+/// and callable concurrently for the same peer.
+using GateConnector = std::function<void(int peer)>;
+
+/// The non-gate wildcard/directed match point of one rank: where forwarded
+/// messages (from ranks this rank has no direct gate to) are reassembled,
+/// matched and delivered. Implements the WildPort half of the any-source
+/// registry; directed receives from non-view sources are parked here too.
+///
+/// Matching mirrors Gate semantics: arrivals match the oldest compatible
+/// posted receive; unmatched complete messages are staged; any-source
+/// requests are claimed through RecvRequest::wild_claim with the same
+/// locked re-check gates use, and the winner purges the sibling
+/// registrations before completing.
+class ForwardInbox final : public nmad::WildPort {
+ public:
+  explicit ForwardInbox(int nranks);
+
+  // -- WildPort (any-source registrations; see nmad/wildset.hpp) --
+  bool post_wild(nmad::RecvRequest& req) override;
+  void remove_expected(nmad::RecvRequest& req) override;
+  bool cancel_recv(nmad::RecvRequest& req) override;
+
+  /// Park a directed receive for (src, tag): match a staged message first,
+  /// else wait for one. Initialises `req` (like Gate::irecv); the source
+  /// filter travels in req.source. Error-completes immediately when `src`
+  /// is already known dead.
+  void post_directed(nmad::RecvRequest& req, int src, Tag tag, void* buf,
+                     std::size_t cap);
+
+  /// One kForward fragment addressed to this rank: reassemble by
+  /// (src, fseq); on the last fragment match/stage the whole message.
+  /// Fragments may arrive out of order (retransmission on lossy links).
+  void deliver(const nmad::ForwardFrame& frame);
+
+  /// A source rank was declared failed: drop its staged + partial
+  /// messages, error-complete directed receives parked on it, and — gate
+  /// eviction semantics — claim and error-complete parked any-source
+  /// registrations. Idempotent per source.
+  void fail_source(int src);
+
+  [[nodiscard]] std::size_t staged_count() const;
+  [[nodiscard]] std::size_t parked_count() const;
+
+ private:
+  /// One complete, unmatched message.
+  struct Staged {
+    int src = -1;
+    Tag tag = 0;
+    uint64_t fseq = 0;
+    std::vector<uint8_t> data;
+  };
+  /// One in-flight reassembly (keyed by (src, fseq)).
+  struct Assembly {
+    Tag tag = 0;
+    std::vector<std::vector<uint8_t>> frags;
+    uint16_t landed = 0;
+  };
+
+  /// Copy a message into a matched receive and complete it. Call WITHOUT
+  /// lock_ (completion wakes waiters that may re-enter the inbox).
+  static void complete_into(nmad::RecvRequest& req, Staged&& msg);
+  static void fail_request(nmad::RecvRequest& req);
+
+  const int nranks_;
+  mutable sync::SpinLock lock_;
+  std::vector<nmad::RecvRequest*> directed_;  ///< parked directed receives
+  std::vector<nmad::RecvRequest*> wilds_;     ///< parked any-source regs
+  std::deque<Staged> staged_;                 ///< complete, unmatched (FIFO)
+  std::map<std::pair<int, uint64_t>, Assembly> assembling_;
+  std::vector<bool> dead_;  ///< by source rank
+};
+
+/// Counters for tests/benches (monotonic; snapshot consistency not
+/// promised).
+struct MembershipStats {
+  uint64_t forwards_originated = 0;  ///< forward sends started here
+  uint64_t forwards_relayed = 0;     ///< frames re-emitted towards next hop
+  uint64_t forwards_delivered = 0;   ///< frames delivered to the local inbox
+  uint64_t forwards_dropped = 0;     ///< undeliverable frames (dead hop…)
+  uint64_t death_notices = 0;        ///< death floods originated or relayed
+};
+
+class Membership {
+ public:
+  /// `session` must outlive the membership. `mode`/`fanout` must already be
+  /// resolved (resolve_overlay_mode / resolve_overlay_fanout).
+  Membership(nmad::Session& session, int rank, int nranks, OverlayMode mode,
+             int fanout);
+  ~Membership();
+
+  Membership(const Membership&) = delete;
+  Membership& operator=(const Membership&) = delete;
+
+  // ---- topology ----
+
+  [[nodiscard]] OverlayMode mode() const { return mode_; }
+  [[nodiscard]] bool sparse() const { return mode_ == OverlayMode::kSparse; }
+  /// Sparse collectives (tree bcast/allreduce/barrier) selected?
+  [[nodiscard]] bool sparse_collectives() const { return sparse(); }
+  [[nodiscard]] int fanout() const { return fanout_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  /// Tree parent (-1 at the root) and children — meaningful in both modes
+  /// (the tree collectives read them), but only the sparse view keeps the
+  /// edges warm.
+  [[nodiscard]] int parent() const { return parent_; }
+  [[nodiscard]] const std::vector<int>& children() const { return children_; }
+  /// The peers this rank keeps direct links to (sparse: tree + ring,
+  /// <= fanout+3 entries; dense: everyone, represented implicitly).
+  [[nodiscard]] const std::vector<int>& view() const { return view_; }
+  /// True when `peer` may be talked to directly (always, in dense mode).
+  /// Symmetric: in_view(a to b) == in_view(b to a).
+  [[nodiscard]] bool in_view(int peer) const;
+  /// First hop towards `dst`: dst itself when in view, else the child
+  /// whose subtree contains dst, else the parent.
+  [[nodiscard]] int next_hop(int dst) const;
+
+  // ---- wiring (install order: connector, on_gate_created, detector —
+  // ---- all before any traffic; see LocalRank::init / World) ----
+
+  void set_connector(GateConnector connector);
+  /// Hook run for every gate this membership installs (after the gate is
+  /// fully initialised, before it is published): the pioman engine watches
+  /// late gates here (PiomanEngine::watch_gate).
+  void set_on_gate_created(std::function<void(nmad::Gate&)> cb);
+  /// Attach the rank's failure detector: installs the membership's
+  /// on_rank_failed callback (inbox eviction + sparse death flood +
+  /// isolation rule) and lets gate installation mark gates to already-dead
+  /// peers. The detector must outlive the membership's last use.
+  void attach_detector(FailureDetector* fd);
+
+  /// Eagerly create the sparse view's gates (no-op in dense mode). Called
+  /// once at world construction so heartbeats flow along the overlay from
+  /// the start — sparse failure detection depends on view gates existing.
+  void establish_view();
+
+  // ---- gate table ----
+
+  /// Gate towards `peer`, creating it (and the peer's twin) through the
+  /// connector on first use. Thread-safe; throws std::logic_error when no
+  /// connector is installed and the gate does not exist.
+  nmad::Gate& ensure_gate(int peer);
+  /// Already-installed gate, or null. Never creates.
+  [[nodiscard]] nmad::Gate* existing_gate(int peer) const;
+  /// Install a gate over `rails` (idempotent — returns the existing gate
+  /// when one is already installed). Applies recorded tag revocations and
+  /// the dead-peer verdict to late gates, registers the gate with the
+  /// any-source registry, and runs the on_gate_created hook.
+  nmad::Gate& install_gate(int peer,
+                           const std::vector<transport::IChannel*>& rails);
+  /// Gates installed so far (the lazy-gate bound tests assert on this).
+  [[nodiscard]] int installed_gates() const {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+  // ---- routing ----
+
+  /// Origin side of a forwarded send: fragment + ship `buf` towards `dst`
+  /// via next_hop(dst). Completion means "accepted by the first hop"
+  /// (acked under reliability) — eager semantics, like Gate::isend below
+  /// the rendezvous threshold. Error-completes immediately when dst (or
+  /// synchronously, when the first hop) is already declared failed.
+  void forward_send(nmad::SendRequest& req, int dst, Tag tag, const void* buf,
+                    std::size_t len);
+
+  /// Session forward handler (installed by the constructor): death notices
+  /// are adopted + re-flooded, frames for this rank go to the inbox,
+  /// everything else is relayed towards next_hop(frame.dst).
+  void handle_forward(const nmad::ForwardFrame& frame);
+
+  // ---- wildcard registry + inbox ----
+
+  [[nodiscard]] nmad::WildSet& wilds() { return wilds_; }
+  [[nodiscard]] ForwardInbox& inbox() { return inbox_; }
+
+  // ---- revocation (Comm::revoke_coll_epoch, detector first verdict) ----
+
+  /// Revoke a tag window on every installed gate AND record it for gates
+  /// installed later — a late gate must refuse the same rendezvous traffic
+  /// the eager ones do, or a dying collective's NACK guarantee would leak.
+  void revoke_all(Tag mask, Tag value);
+
+  [[nodiscard]] MembershipStats stats() const;
+
+ private:
+  /// Detector callback body: inbox eviction, sparse death flood, and the
+  /// isolation rule (all gate peers dead => adopt the verdict for every
+  /// rank — the shape of a rank whose node was cut off).
+  void on_local_failure(int dead);
+  /// Flood one death notice along the view, once per dead rank (deduped);
+  /// `via` (the peer the notice arrived from, -1 for local verdicts) is
+  /// excluded from the re-flood.
+  void flood_death(int dead, int via);
+
+  nmad::Session& session_;
+  const int rank_;
+  const int nranks_;
+  const OverlayMode mode_;
+  const int fanout_;
+  int parent_ = -1;
+  std::vector<int> children_;
+  std::vector<int> view_;
+  std::vector<bool> in_view_;  ///< by rank (sparse mode only)
+
+  /// Serializes installation; the table itself is lock-free to read (one
+  /// release store per entry, ever).
+  std::mutex install_lock_;
+  std::unique_ptr<std::atomic<nmad::Gate*>[]> gate_;
+  std::atomic<int> installed_{0};
+  GateConnector connector_;
+  std::function<void(nmad::Gate&)> on_gate_created_;
+  std::atomic<FailureDetector*> fd_{nullptr};
+
+  nmad::WildSet wilds_;
+  ForwardInbox inbox_;
+  /// Origin message counters, per destination (reassembly + match order).
+  std::unique_ptr<std::atomic<uint64_t>[]> fseq_;
+
+  sync::SpinLock windows_lock_;
+  std::vector<std::pair<Tag, Tag>> windows_;  ///< replayed on late gates
+
+  sync::SpinLock flood_lock_;
+  std::vector<bool> flooded_;  ///< death notice already flooded, by rank
+  std::atomic<bool> isolating_{false};
+
+  struct AtomicStats {
+    std::atomic<uint64_t> originated{0};
+    std::atomic<uint64_t> relayed{0};
+    std::atomic<uint64_t> delivered{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> death_notices{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace piom::mpi

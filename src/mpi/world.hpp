@@ -1,8 +1,11 @@
 // World: an N-rank mini-MPI cluster in one process — `nranks` "cluster
-// nodes" (one nmad session + one progress engine each) wired pairwise
-// through a full-mesh simulated fabric (one dedicated link — or several
-// rails — per unordered rank pair). This is the entry point benchmarks and
-// examples use:
+// nodes" (one nmad session + one progress engine each) over a lazily wired
+// fabric: a rank pair's channels (one dedicated link — or several rails —
+// per unordered pair) and the gates over them are created on first
+// contact, not upfront, so idle pairs cost nothing. The overlay layer
+// (mpi/membership.hpp) decides who talks directly: dense mode lets every
+// pair connect, sparse mode keeps a tree+ring view per rank and forwards
+// the rest. This is the entry point benchmarks and examples use:
 //
 //   mpi::WorldConfig cfg;
 //   cfg.engine = mpi::EngineKind::kPioman;
@@ -15,6 +18,8 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -22,6 +27,7 @@
 #include "mpi/coll.hpp"
 #include "mpi/engine.hpp"
 #include "mpi/local_rank.hpp"
+#include "mpi/membership.hpp"
 #include "mpi/request.hpp"
 #include "topo/machine.hpp"
 #include "transport/channel.hpp"
@@ -54,6 +60,11 @@ struct WorldConfig {
   /// why caller-driven engines make it opt-in). When enabled, every rank
   /// gets a FailureDetector ticked from its engine's progress paths.
   FailureConfig failure{};
+  /// Overlay topology: dense (every pair may talk directly; gates still
+  /// created lazily) or sparse (tree+ring view, multi-hop forwarding, tree
+  /// collectives). Defaults defer to $PIOM_OVERLAY / $PIOM_FANOUT /
+  /// $PIOM_SPARSE_THRESHOLD — see mpi/membership.hpp and docs/scaling.md.
+  OverlayConfig overlay{};
 };
 
 /// Rank placement derived from a machine topology: rank r lives on the
@@ -85,11 +96,11 @@ class World {
   [[nodiscard]] transport::ITransport& transport(transport::Backend b) {
     return cluster_->transport(b);
   }
-  /// Rail channels `rank` owns towards `peer` (rail 0 first). The per-pair
-  /// IChannel view fault tests and benches use instead of digging through
-  /// the fabric.
+  /// Rail channels `rank` owns towards `peer` (rail 0 first), wiring the
+  /// pair on first request (lazy mesh). The per-pair IChannel view fault
+  /// tests and benches use instead of digging through the fabric.
   [[nodiscard]] const std::vector<transport::IChannel*>& pair_channels(
-      int rank, int peer) const;
+      int rank, int peer);
   /// Rank-local pieces (each rank is a LocalRank; see mpi/local_rank.hpp).
   [[nodiscard]] LocalRank& local_rank(int rank);
   [[nodiscard]] Engine& engine(int rank);
@@ -120,12 +131,23 @@ class World {
  private:
   void check_rank(int rank, const char* who) const;
 
+  /// GateConnector body (installed on every rank's membership): wire the
+  /// transport pair on demand and install BOTH sides' gates — the peer's
+  /// first, so its side is being polled before our first packet can land.
+  /// Idempotent and safe to race (pair_rails and install_gate both
+  /// double-check); coordinates with kill_rank through killed_ so a pair
+  /// lazily wired concurrently with a kill still ends up severed.
+  void connect_pair(int rank, int peer);
+
   WorldConfig config_;
   // The cluster (all channels) must outlive every rank's session: ranks_
-  // is declared after cluster_/mesh_ so it is destroyed first.
+  // is declared after cluster_ so it is destroyed first.
   std::unique_ptr<transport::Cluster> cluster_;
-  transport::Cluster::MeshWiring mesh_;
   std::vector<std::unique_ptr<LocalRank>> ranks_;
+  /// Ranks kill_rank has struck; connect_pair consults it so lazy wiring
+  /// racing a kill cannot resurrect a dead rank's connectivity.
+  std::mutex killed_lock_;
+  std::set<int> killed_;
 };
 
 /// Per-rank MPI-like interface: N ranks, reliable, tag- and source-matched.
@@ -145,7 +167,7 @@ class Comm {
   static constexpr Tag kReservedTagBase = nmad::kReservedTagBase;
 
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const { return static_cast<int>(gates_.size()); }
+  [[nodiscard]] int size() const { return nranks_; }
 
   /// `tag` must be an application tag (below kReservedTagBase — enforced,
   /// since a send into the reserved space would collide with the
@@ -262,15 +284,21 @@ class Comm {
   bool cancel(Request& req);
 
   [[nodiscard]] Engine& engine() { return *engine_; }
-  /// Gate towards `peer` (throws on self / out of range).
+  /// Gate towards `peer`, created lazily on first use (throws on self /
+  /// out of range).
   [[nodiscard]] nmad::Gate& gate_to(int peer);
+  /// This rank's overlay/routing layer (topology, gate table, forwarding).
+  [[nodiscard]] Membership& membership() { return *membership_; }
 
  private:
   friend class World;
   friend class LocalRank;  // constructs its rank's Comm
   friend class CollOp;  // posts reserved-tag rounds through the _reserved paths
-  Comm(int rank, Engine* engine, std::vector<nmad::Gate*> gates)
-      : rank_(rank), engine_(engine), gates_(std::move(gates)) {}
+  Comm(int rank, Engine* engine, Membership* membership, int nranks)
+      : rank_(rank),
+        engine_(engine),
+        membership_(membership),
+        nranks_(nranks) {}
 
   /// Throws unless `peer` is a valid rank other than rank_.
   void check_peer(int peer, const char* who) const;
@@ -305,8 +333,10 @@ class Comm {
 
   int rank_;
   Engine* engine_;
-  /// By peer rank; the entry at rank_ is null (no self-gate).
-  std::vector<nmad::Gate*> gates_;
+  /// Owned by this rank's LocalRank; routes every operation (direct gate,
+  /// lazily created, or multi-hop forward in sparse mode).
+  Membership* membership_;
+  int nranks_;
   std::atomic<uint32_t> coll_epoch_{0};
 };
 

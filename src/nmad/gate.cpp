@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "nmad/session.hpp"
+#include "nmad/wildset.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -41,6 +42,10 @@ Gate::Gate(Session& session, std::vector<transport::IChannel*> rails,
     r.posted_bufs = bufs;
   }
   recv_bufs_hw_.store(static_cast<uint64_t>(bufs), std::memory_order_relaxed);
+  // Liveness anchor: a lazily-created gate has heard nothing yet, but the
+  // peer is not thereby suspect — grant it one full silence window from
+  // creation (the detector also anchors against its own start time).
+  last_heard_ns_.store(util::now_ns(), std::memory_order_release);
 }
 
 Gate::~Gate() {
@@ -380,7 +385,7 @@ void Gate::fail_peer() {
     req->core.complete();
   }
   for (RecvRequest* req : dead_recvs) {
-    if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
+    if (req->wild_set != nullptr) req->wild_set->purge(*req, this);
     req->source = peer_rank_;
     req->core.mark_failed();
     req->core.complete();
@@ -395,7 +400,7 @@ bool Gate::cancel_recv(RecvRequest& req) {
   // keeps polling completion) or registered on another gate. kStale: a
   // sibling gate won the wildcard.
   if (outcome != TagMatcher::Cancel::kClaimed) return false;
-  if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
+  if (req.wild_set != nullptr) req.wild_set->purge(req, this);
   req.source = peer_rank_;
   req.core.mark_failed();
   req.core.complete();
@@ -428,6 +433,72 @@ void Gate::send_nack(Tag tag, uint64_t seq) {
   post_pw(pw, 0);
 }
 
+// ------------------------------------------------- multi-hop forwarding
+
+void Gate::post_forward_frag(int src, int dst, Tag tag, uint64_t fseq,
+                             uint32_t frag, uint16_t nfrags, const void* data,
+                             std::size_t len, SendRequest* req) {
+  assert(len + sizeof(PktHeader) <= kPoolBufSize);
+  PacketWrapper* pw = pw_pool_.acquire();
+  PktHeader hdr;
+  hdr.kind = static_cast<uint8_t>(PktKind::kForward);
+  hdr.nmsgs = nfrags;
+  hdr.tag = tag;
+  hdr.seq = fseq;
+  hdr.len = len;
+  hdr.raddr = (static_cast<uint64_t>(static_cast<uint16_t>(src)) << 48) |
+              (static_cast<uint64_t>(static_cast<uint16_t>(dst)) << 32) |
+              frag;
+  pw->begin(hdr);
+  if (len > 0) pw->append(data, len);
+  if (req != nullptr) pw->reqs.push_back(req);
+  // Control-framed like RTS/NACK: rail 0 keeps per-hop FIFO order (the
+  // deterministic route plus per-hop FIFO gives end-to-end fragment order),
+  // and post_pw runs the packet through the reliability layer, so the
+  // guarantee composes hop by hop.
+  post_pw(pw, 0);
+}
+
+void Gate::isend_forward(SendRequest& req, int src, int dst, Tag tag,
+                         uint64_t fseq, const void* buf, std::size_t len) {
+  req.gate = this;
+  req.tag = tag;
+  req.buf = buf;
+  req.len = len;
+  req.next = nullptr;
+  req.rdv = false;
+  req.seq = fseq;
+  req.core.reset();
+  if (peer_dead_.load(std::memory_order_acquire)) {
+    // The first hop is already gone; nothing can relay this message.
+    req.core.mark_failed();
+    req.core.complete();
+    return;
+  }
+  const auto* bytes = static_cast<const uint8_t*>(buf);
+  const auto nfrags = static_cast<uint16_t>(
+      len == 0 ? 1 : (len + kForwardChunk - 1) / kForwardChunk);
+  for (uint32_t f = 0; f < nfrags; ++f) {
+    const std::size_t off = static_cast<std::size_t>(f) * kForwardChunk;
+    const std::size_t flen = len == 0 ? 0 : std::min(kForwardChunk, len - off);
+    // The request rides the LAST fragment: per-hop FIFO means its ack
+    // implies every earlier fragment was acked too.
+    const bool last = f + 1 == nfrags;
+    post_forward_frag(src, dst, tag, fseq, f, nfrags,
+                      flen > 0 ? bytes + off : nullptr, flen,
+                      last ? &req : nullptr);
+  }
+}
+
+void Gate::forward_raw(const ForwardFrame& frame) {
+  // Relays are fire-and-forget: a dead next hop drops the fragment, and
+  // the failure detector's verdict (not this relay) error-completes
+  // whatever end-to-end operation was waiting on it.
+  if (peer_dead_.load(std::memory_order_acquire)) return;
+  post_forward_frag(frame.src, frame.dst, frame.tag, frame.fseq, frame.frag,
+                    frame.nfrags, frame.data, frame.len, nullptr);
+}
+
 // ---------------------------------------------------------------- recv path
 
 void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
@@ -438,7 +509,8 @@ void Gate::irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
   req.received = 0;
   req.matched_seq = 0;
   req.source = -1;
-  req.wild_gates = nullptr;
+  req.wild_set = nullptr;
+  req.port = nullptr;
   req.wild_claim.store(0, std::memory_order_relaxed);
   req.core.reset();
   match_or_post(req);
@@ -457,17 +529,18 @@ bool Gate::post_wild(RecvRequest& req) {
 
 bool Gate::match_or_post(RecvRequest& req) {
   matcher_.lock();
-  if (req.wild_gates != nullptr &&
+  if (req.wild_set != nullptr &&
       req.wild_claim.load(std::memory_order_acquire) != 0) {
-    // Re-checked under the matcher lock: a sibling gate may have claimed
-    // the request and already run purge_wild_siblings past this gate (its
+    // Re-checked under the matcher lock: a sibling member may have claimed
+    // the request and already run WildSet::purge past this gate (its
     // remove_posted found nothing because we had not inserted yet). The
     // purge's remove_posted and this check are serialized by this lock, so
     // either our insert lands before the purge (and is removed by it) or
     // the claim is visible here and we never insert. Without this check a
     // stale registration would outlive the request — the owner completes
     // and frees it — and a later scan would dereference the dangling
-    // pointer.
+    // pointer. This also covers late registrations from WildSet::add_gate
+    // (a gate created while the wildcard is parked).
     matcher_.unlock();
     return true;
   }
@@ -481,7 +554,7 @@ bool Gate::match_or_post(RecvRequest& req) {
     // from "the dead one was the sender".
     matcher_.unlock();
     if (!try_claim(req)) return true;  // sibling delivered concurrently
-    if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
+    if (req.wild_set != nullptr) req.wild_set->purge(req, this);
     req.source = peer_rank_;
     req.core.mark_failed();
     req.core.complete();
@@ -496,7 +569,7 @@ bool Gate::match_or_post(RecvRequest& req) {
   }
   matcher_.unlock();
   if (lost) return true;  // any-source request claimed by a sibling gate
-  if (req.wild_gates != nullptr) purge_wild_siblings(req, this);
+  if (req.wild_set != nullptr) req.wild_set->purge(req, this);
   deliver_unexpected(req, entry);
   return true;
 }
@@ -518,15 +591,6 @@ void Gate::remove_expected(RecvRequest& req) {
   matcher_.unlock();
 }
 
-void Gate::purge_wild_siblings(RecvRequest& req, Gate* claimer) {
-  // Safe without any lock held: the request cannot complete (and thus be
-  // freed by its owner) until after this purge, and each sibling erase is
-  // serialized against that gate's matching scans by its matcher lock.
-  for (Gate* g : *req.wild_gates) {
-    if (g != nullptr && g != claimer) g->remove_expected(req);
-  }
-}
-
 void Gate::deliver_eager(RecvRequest& req, const uint8_t* payload,
                          std::size_t len, uint64_t seq, Tag tag) {
   const std::size_t n = std::min(req.cap, len);
@@ -537,23 +601,6 @@ void Gate::deliver_eager(RecvRequest& req, const uint8_t* payload,
   req.gate = this;
   req.source = peer_rank_;
   req.core.complete();
-}
-
-void irecv_any_source(RecvRequest& req, const std::vector<Gate*>& gates,
-                      Tag tag, void* buf, std::size_t cap) {
-  req.gate = nullptr;
-  req.tag = tag;
-  req.buf = buf;
-  req.cap = cap;
-  req.received = 0;
-  req.matched_seq = 0;
-  req.source = -1;
-  req.wild_claim.store(0, std::memory_order_relaxed);
-  req.wild_gates = &gates;
-  req.core.reset();
-  for (Gate* g : gates) {
-    if (g != nullptr && g->post_wild(req)) return;
-  }
 }
 
 // -------------------------------------------------------------- progression
@@ -651,6 +698,9 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
     case PktKind::kNack:
       handle_nack(hdr);
       break;
+    case PktKind::kForward:
+      handle_forward(hdr, body);
+      break;
     case PktKind::kAck:
       handle_ack(hdr);
       break;
@@ -678,13 +728,35 @@ void Gate::handle_wire(const uint8_t* data, std::size_t len, int rail_index) {
   }
 }
 
+void Gate::handle_forward(const PktHeader& hdr, const uint8_t* payload) {
+  ForwardFrame f;
+  f.src = static_cast<int>((hdr.raddr >> 48) & 0xFFFFu);
+  f.dst = static_cast<int>((hdr.raddr >> 32) & 0xFFFFu);
+  f.frag = static_cast<uint32_t>(hdr.raddr & 0xFFFFFFFFu);
+  f.tag = hdr.tag;
+  f.fseq = hdr.seq;
+  f.nfrags = hdr.nmsgs;
+  f.data = payload;
+  f.len = static_cast<std::size_t>(hdr.len);
+  f.via = peer_rank_;
+  const Session::ForwardHandler& handler = session_.forward_handler();
+  if (!handler) {
+    PIOM_LOG_WARN(
+        "gate: dropping kForward with no handler installed (src=%d dst=%d "
+        "tag=%u)",
+        f.src, f.dst, f.tag);
+    return;
+  }
+  handler(f);
+}
+
 void Gate::handle_eager(const PktHeader& hdr, const uint8_t* payload) {
   recv_stats_.eager_recv.fetch_add(1, std::memory_order_relaxed);
   matcher_.lock();
   RecvRequest* req = matcher_.claim_for_arrival(hdr.tag);
   if (req != nullptr) {
     matcher_.unlock();
-    if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
+    if (req->wild_set != nullptr) req->wild_set->purge(*req, this);
     deliver_eager(*req, payload, static_cast<std::size_t>(hdr.len), hdr.seq,
                   hdr.tag);
     return;
@@ -755,7 +827,7 @@ void Gate::handle_rts(const PktHeader& hdr) {
   if (req != nullptr) {
     matcher_.unlock();
     recv_stats_.rdv_recv.fetch_add(1, std::memory_order_relaxed);
-    if (req->wild_gates != nullptr) purge_wild_siblings(*req, this);
+    if (req->wild_set != nullptr) req->wild_set->purge(*req, this);
     start_pull(*req, RdvStub{hdr.tag, hdr.seq, hdr.len, hdr.raddr});
     return;
   }

@@ -94,7 +94,7 @@ class Gate {
   /// Start a receive into `buf` (capacity `cap`).
   void irecv(RecvRequest& req, Tag tag, void* buf, std::size_t cap);
 
-  /// Register an any-source receive (initialised by irecv_any_source) with
+  /// Register an any-source receive (initialised by WildSet::post) with
   /// this gate: match immediately against staged unexpected arrivals, else
   /// join the expected queue. Returns true when the request needs no
   /// further registrations (matched here, or already claimed elsewhere).
@@ -107,6 +107,23 @@ class Gate {
   /// Pack and post every pending send (strategy layer: aggregation, rail
   /// selection). Safe to call from any thread, including concurrently.
   void flush();
+
+  // ---- multi-hop forwarding (sparse overlays; see src/mpi/membership) ----
+
+  /// Origin side: ship `buf` towards remote rank `dst` by handing it to
+  /// this gate's peer for relaying. The message is cut into kForwardChunk
+  /// fragments, each a kForward packet riding the reliability layer on
+  /// every hop; `req` is attached to the LAST fragment and completes when
+  /// it is acked/on the wire ("sent", eager semantics — delivery matching
+  /// happens in the destination's forward inbox). `fseq` is the origin's
+  /// per-(src,dst) message number, used for reassembly and match order.
+  void isend_forward(SendRequest& req, int src, int dst, Tag tag,
+                     uint64_t fseq, const void* buf, std::size_t len);
+
+  /// Relay side: re-emit one already-decoded forward fragment towards this
+  /// gate's peer, fire-and-forget (no request; the per-hop reliability
+  /// layer still acks/retransmits the packet itself).
+  void forward_raw(const ForwardFrame& frame);
 
   /// Poll one rail: drain RX (dispatch arrivals) and TX (complete sends,
   /// advance rendezvous pulls) completion queues. Returns events handled.
@@ -132,7 +149,9 @@ class Gate {
   void send_ping();
 
   /// Monotonic timestamp (util::now_ns) of the last wire arrival from the
-  /// peer — any packet counts, including acks and pings. 0 = never heard.
+  /// peer — any packet counts, including acks and pings. Initialised to
+  /// the gate's creation time, so a lazily-created gate gets one full
+  /// silence window before the failure detector may act on it.
   [[nodiscard]] int64_t last_heard_ns() const {
     return last_heard_ns_.load(std::memory_order_acquire);
   }
@@ -205,6 +224,7 @@ class Gate {
 
   // Wire handling (called from poll_rail).
   void handle_wire(const uint8_t* data, std::size_t len, int rail_index);
+  void handle_forward(const PktHeader& hdr, const uint8_t* payload);
   void handle_eager(const PktHeader& hdr, const uint8_t* payload);
   void handle_pack(const PktHeader& hdr, const uint8_t* body, std::size_t len);
   void handle_rts(const PktHeader& hdr);
@@ -237,9 +257,11 @@ class Gate {
   /// and recycle it. Call WITHOUT any lock.
   void deliver_unexpected(RecvRequest& req, UnexEntry* entry);
 
-  /// Remove a claimed wildcard request from every sibling gate. Must be
-  /// called WITHOUT locks and BEFORE completing the request.
-  static void purge_wild_siblings(RecvRequest& req, Gate* claimer);
+  /// Serialize + post one forward fragment (shared by isend_forward and
+  /// forward_raw). `req` is attached to the packet when non-null.
+  void post_forward_frag(int src, int dst, Tag tag, uint64_t fseq,
+                         uint32_t frag, uint16_t nfrags, const void* data,
+                         std::size_t len, SendRequest* req);
 
   // Pending-send packing (strategy layer). Must be called WITHOUT lock_.
   void submit_pending();
@@ -300,13 +322,5 @@ class Gate {
   std::atomic<uint64_t> recv_bufs_hw_{0};
   std::atomic<uint64_t> recv_pool_growths_{0};
 };
-
-/// Post `req` as an any-source (MPI_ANY_SOURCE) receive across `gates`
-/// (null entries are skipped — a rank's own slot in a by-peer table). The
-/// first gate with a matching arrival wins; the request then completes
-/// exactly like a plain irecv, with RecvRequest::source naming the winning
-/// gate's peer_rank(). `gates` must outlive the request's completion.
-void irecv_any_source(RecvRequest& req, const std::vector<Gate*>& gates,
-                      Tag tag, void* buf, std::size_t cap);
 
 }  // namespace piom::nmad

@@ -51,11 +51,11 @@ enum class MatcherKind : uint8_t {
 }
 
 /// Take ownership of a matched receive. Any-source requests are registered
-/// with several gates and carry a claim flag; the first gate to CAS it wins
-/// and the losers drop their stale registrations. Single-gate requests
-/// always succeed.
+/// with several WildSet members and carry a claim flag; the first member to
+/// CAS it wins and the losers drop their stale registrations. Single-gate
+/// requests always succeed.
 [[nodiscard]] inline bool try_claim(RecvRequest& req) {
-  if (req.wild_gates == nullptr) return true;
+  if (req.wild_set == nullptr) return true;
   uint32_t unclaimed = 0;
   return req.wild_claim.compare_exchange_strong(unclaimed, 1,
                                                 std::memory_order_acq_rel);

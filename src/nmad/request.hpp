@@ -17,6 +17,8 @@
 namespace piom::nmad {
 
 class Gate;
+class WildSet;
+class WildPort;
 struct RecvRequest;
 
 /// Completion flag + wakeup shared by both request kinds.
@@ -116,11 +118,15 @@ struct RecvRequest {
   /// first gate to match claims the request through this flag (CAS 0 -> 1).
   /// Losing gates drop their now-stale registration instead of delivering.
   std::atomic<uint32_t> wild_claim{0};
-  /// Non-null for any-source receives: the gate list the request was
-  /// posted across (null entries are skipped). Must stay valid until the
-  /// request completes; the claiming gate purges every sibling
-  /// registration *before* signalling completion.
-  const std::vector<Gate*>* wild_gates = nullptr;
+  /// Non-null for any-source receives: the registry the request was posted
+  /// through (WildSet::post). Must stay valid until the request completes;
+  /// the claiming member purges every sibling registration — including
+  /// gates that joined the set after the post — *before* signalling
+  /// completion (WildSet::purge).
+  WildSet* wild_set = nullptr;
+  /// Non-null for directed receives parked on a non-gate port (the
+  /// membership forward inbox); mutually exclusive with gate/wild_set.
+  WildPort* port = nullptr;
   RequestCore core;
   RdvPull pull;  ///< embedded: no allocation on the rendezvous path either
 

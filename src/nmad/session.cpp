@@ -15,6 +15,7 @@ const char* pkt_kind_name(PktKind k) {
     case PktKind::kAck: return "ack";
     case PktKind::kPing: return "ping";
     case PktKind::kNack: return "nack";
+    case PktKind::kForward: return "forward";
   }
   return "?";
 }
@@ -65,13 +66,27 @@ Gate& Session::create_gate(std::vector<transport::IChannel*> rails,
           "Session::create_gate: rail channel missing or unconnected");
     }
   }
-  gates_.push_back(std::make_unique<Gate>(*this, std::move(rails), peer_rank));
-  return *gates_.back();
+  auto gate = std::make_unique<Gate>(*this, std::move(rails), peer_rank);
+  Gate& ref = *gate;
+  gates_lock_.lock();
+  gates_.push_back(std::move(gate));
+  gates_lock_.unlock();
+  return ref;
 }
 
 int Session::progress() {
+  // Snapshot the table into thread-local scratch (allocation-free in
+  // steady state) and iterate outside the lock: a gate's progress can
+  // create new gates — forwarded traffic for an unwired peer triggers the
+  // lazy connector — which must not deadlock against this very loop.
+  thread_local std::vector<Gate*> scratch;
+  scratch.clear();
+  gates_lock_.lock();
+  scratch.reserve(gates_.size());
+  for (auto& g : gates_) scratch.push_back(g.get());
+  gates_lock_.unlock();
   int events = 0;
-  for (auto& g : gates_) events += g->progress();
+  for (Gate* g : scratch) events += g->progress();
   return events;
 }
 

@@ -2,6 +2,7 @@
 // Owns the gates towards peers, the strategy layer and the configuration.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -11,6 +12,7 @@
 #include "nmad/matcher.hpp"
 #include "nmad/strategy.hpp"
 #include "nmad/types.hpp"
+#include "sync/spinlock.hpp"
 
 namespace piom::nmad {
 
@@ -52,25 +54,53 @@ class Session {
   /// Create a gate towards a peer over `rails` (this side's transport
   /// channels, already connected to the peer's; backends may be mixed).
   /// `peer_rank` names the peer in the cluster (reported by any-source
-  /// receives; -1 when unused). Returned reference is stable.
+  /// receives; -1 when unused). Returned reference is stable. Thread-safe:
+  /// with lazy wiring, gates are created from whichever thread first talks
+  /// to a peer — including poll paths relaying forwarded traffic.
   Gate& create_gate(std::vector<transport::IChannel*> rails,
                     int peer_rank = -1);
 
   /// Flush pending sends and poll every rail of every gate.
-  /// Returns events handled.
+  /// Returns events handled. Iterates a snapshot of the gate table, so
+  /// gates created concurrently (or by handlers run from this very call)
+  /// join the next iteration.
   int progress();
+
+  /// Handler for kForward arrivals on any of this session's gates (the
+  /// membership layer's relay/deliver entry point). Install once, before
+  /// any forwarded traffic can arrive; frames on sessions without a
+  /// handler are dropped with a warning.
+  using ForwardHandler = std::function<void(const ForwardFrame&)>;
+  void set_forward_handler(ForwardHandler h) { forward_ = std::move(h); }
+  [[nodiscard]] const ForwardHandler& forward_handler() const {
+    return forward_;
+  }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const SessionConfig& config() const { return config_; }
   [[nodiscard]] Strategy& strategy() { return strategy_; }
-  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
-  [[nodiscard]] Gate& gate(std::size_t i) { return *gates_[i]; }
+  [[nodiscard]] std::size_t gate_count() const {
+    gates_lock_.lock();
+    const std::size_t n = gates_.size();
+    gates_lock_.unlock();
+    return n;
+  }
+  [[nodiscard]] Gate& gate(std::size_t i) {
+    gates_lock_.lock();
+    Gate& g = *gates_[i];
+    gates_lock_.unlock();
+    return g;
+  }
 
  private:
   std::string name_;
   SessionConfig config_;
   Strategy strategy_;
+  /// Guards the table only — Gate objects are stable once created (their
+  /// pointers may be used without the lock).
+  mutable sync::SpinLock gates_lock_;
   std::vector<std::unique_ptr<Gate>> gates_;
+  ForwardHandler forward_;
 };
 
 }  // namespace piom::nmad

@@ -60,6 +60,14 @@ enum class PktKind : uint8_t {
   /// layer (sequenced, acknowledged, retransmitted): a lost NACK must not
   /// re-open the hang it exists to close.
   kNack = 7,
+  /// Multi-hop forwarded message fragment (sparse overlays): a message for
+  /// a rank this rank has no direct gate to, relayed hop by hop along the
+  /// membership tree. Rides the reliability layer on every hop like kNack
+  /// (sequenced, acknowledged, retransmitted) — the reliability guarantee
+  /// composes per hop. Header packing: `raddr` carries src<<48 | dst<<32 |
+  /// fragment index, `nmsgs` the fragment count, `seq` the origin's
+  /// per-(src,dst) message number, `len` the fragment payload size.
+  kForward = 8,
 };
 
 [[nodiscard]] const char* pkt_kind_name(PktKind k);
@@ -86,6 +94,31 @@ struct PackEntry {
   uint64_t len = 0;
 };
 static_assert(sizeof(PackEntry) == 24, "pack entry layout");
+
+/// One decoded kForward fragment, handed from the delivering gate to the
+/// session's forward handler (the membership layer). `data` points into the
+/// gate's pool buffer and is only valid for the duration of the call — the
+/// handler copies what it keeps (relays re-serialize, destinations stage
+/// into the reassembly buffer).
+struct ForwardFrame {
+  int src = -1;              ///< originating rank
+  int dst = -1;              ///< final destination (0xFFFF = flood)
+  Tag tag = 0;               ///< end-to-end message tag
+  uint64_t fseq = 0;         ///< origin's per-(src,dst) message number
+  uint32_t frag = 0;         ///< fragment index, 0-based
+  uint16_t nfrags = 1;       ///< total fragments of the message
+  const uint8_t* data = nullptr;
+  std::size_t len = 0;
+  int via = -1;              ///< peer rank of the gate this hop arrived on
+};
+
+/// Flood-destination sentinel in kForward headers (membership control
+/// traffic, e.g. death notices): deliver locally AND re-flood.
+inline constexpr int kForwardFloodDst = 0xFFFF;
+
+/// Forwarded messages are cut into fragments of at most this size so every
+/// hop fits a pool buffer (kForwardChunk + header <= kPoolBufSize).
+inline constexpr std::size_t kForwardChunk = 32 * 1024;
 
 /// Receive pool buffer size per rail. Every control/eager/pack packet must
 /// fit (enforced against the eager threshold and pack limits).

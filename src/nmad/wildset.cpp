@@ -1,0 +1,94 @@
+#include "nmad/wildset.hpp"
+
+#include <algorithm>
+
+#include "nmad/gate.hpp"
+
+namespace piom::nmad {
+
+void WildSet::add_gate(Gate* g) {
+  std::vector<RecvRequest*> parked;
+  lock_.lock();
+  gates_.push_back(g);
+  parked.assign(pending_.begin(), pending_.end());
+  lock_.unlock();
+  // Register outside the lock: a registration can match staged data and
+  // complete the request, which re-enters purge(). A request claimed in
+  // the meantime is rejected by the claim re-check under g's matcher lock
+  // (the same serialization that protects sibling-gate registrations).
+  for (RecvRequest* r : parked) (void)g->post_wild(*r);
+}
+
+void WildSet::set_port(WildPort* port) {
+  lock_.lock();
+  port_ = port;
+  lock_.unlock();
+}
+
+void WildSet::post(RecvRequest& req, Tag tag, void* buf, std::size_t cap) {
+  req.gate = nullptr;
+  req.tag = tag;
+  req.buf = buf;
+  req.cap = cap;
+  req.received = 0;
+  req.matched_seq = 0;
+  req.source = -1;
+  req.wild_claim.store(0, std::memory_order_relaxed);
+  req.wild_set = this;
+  req.port = nullptr;
+  req.core.reset();
+  std::vector<Gate*> members;
+  lock_.lock();
+  pending_.push_back(&req);
+  members.assign(gates_.begin(), gates_.end());
+  WildPort* port = port_;
+  lock_.unlock();
+  for (Gate* g : members) {
+    if (g != nullptr && g->post_wild(req)) return;
+  }
+  if (port != nullptr) (void)port->post_wild(req);
+}
+
+void WildSet::purge(RecvRequest& req, const void* claimer) {
+  std::vector<Gate*> members;
+  lock_.lock();
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), &req),
+                 pending_.end());
+  members.assign(gates_.begin(), gates_.end());
+  WildPort* port = port_;
+  lock_.unlock();
+  // A gate added after this snapshot cannot re-register the request: its
+  // add_gate snapshot no longer contains it (erased above, serialized by
+  // lock_), and a registration racing the erase is rejected by the claim
+  // re-check under that gate's matcher lock.
+  for (Gate* g : members) {
+    if (g != nullptr && static_cast<const void*>(g) != claimer) {
+      g->remove_expected(req);
+    }
+  }
+  if (port != nullptr && static_cast<const void*>(port) != claimer) {
+    port->remove_expected(req);
+  }
+}
+
+bool WildSet::cancel(RecvRequest& req) {
+  std::vector<Gate*> members;
+  lock_.lock();
+  members.assign(gates_.begin(), gates_.end());
+  WildPort* port = port_;
+  lock_.unlock();
+  for (Gate* g : members) {
+    if (g != nullptr && g->cancel_recv(req)) return true;
+  }
+  if (port != nullptr && port->cancel_recv(req)) return true;
+  return false;
+}
+
+std::size_t WildSet::gate_count() const {
+  lock_.lock();
+  const std::size_t n = gates_.size();
+  lock_.unlock();
+  return n;
+}
+
+}  // namespace piom::nmad

@@ -1,0 +1,87 @@
+// WildSet: the registry any-source receives are posted against. With eager
+// full-mesh wiring the gate list was a fixed by-peer vector; with lazy gates
+// the set of match candidates *grows while requests are parked*, so the
+// registry is a first-class object: gates join it when they are created,
+// and every pending wildcard is (exactly once) registered with each member.
+//
+// A WildPort is a non-gate match candidate — the membership layer's forward
+// inbox, where messages from ranks this rank has no direct gate to arrive.
+// It obeys the same post_wild/remove_expected contract as Gate, including
+// the claim re-check under its own lock (see Gate::match_or_post).
+//
+// Coverage invariant: for every (pending request, member) pair exactly one
+// side performs the registration. post() appends the request and snapshots
+// the membership under one lock; add_gate() appends the gate and snapshots
+// the pending requests under the same lock. Whichever append lands second
+// sees the other in its snapshot — and only that one registers the pair.
+// The actual post_wild calls run OUTSIDE the lock: a registration can match
+// staged data and complete the request inline, which re-enters the set via
+// purge().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nmad/types.hpp"
+#include "sync/spinlock.hpp"
+
+namespace piom::nmad {
+
+class Gate;
+struct RecvRequest;
+
+/// A non-gate wildcard match candidate (the membership forward inbox).
+/// Same contract as the corresponding Gate methods.
+class WildPort {
+ public:
+  virtual ~WildPort() = default;
+  /// Register an any-source receive: match immediately against staged
+  /// arrivals, else park. True when the request needs no further
+  /// registrations (matched here, or already claimed elsewhere).
+  virtual bool post_wild(RecvRequest& req) = 0;
+  /// Drop a registration claimed elsewhere. No-op when not parked here.
+  virtual void remove_expected(RecvRequest& req) = 0;
+  /// Withdraw + error-complete a parked receive (MPI_Cancel-style). False
+  /// when the request is not parked here.
+  virtual bool cancel_recv(RecvRequest& req) = 0;
+};
+
+class WildSet {
+ public:
+  WildSet() = default;
+  WildSet(const WildSet&) = delete;
+  WildSet& operator=(const WildSet&) = delete;
+
+  /// Add a gate to the set and register every pending wildcard with it.
+  /// Called once per gate, at creation.
+  void add_gate(Gate* g);
+
+  /// Install the (single) non-gate member. Must happen before any post().
+  void set_port(WildPort* port);
+
+  /// Post `req` as an any-source receive across the current membership
+  /// (and, transparently, any gate added later). Initialises the request
+  /// like Gate::irecv does. `req` must outlive its completion.
+  void post(RecvRequest& req, Tag tag, void* buf, std::size_t cap);
+
+  /// Remove a claimed request from every member except `claimer` (compared
+  /// by address — a Gate* or WildPort* cast to void*). Must be called
+  /// WITHOUT locks and BEFORE completing the request, by whoever won the
+  /// claim CAS.
+  void purge(RecvRequest& req, const void* claimer);
+
+  /// Cancel a parked wildcard: first member that still holds it withdraws
+  /// and error-completes it. False when no member holds it (matched
+  /// already, completion may be in flight).
+  bool cancel(RecvRequest& req);
+
+  [[nodiscard]] std::size_t gate_count() const;
+
+ private:
+  mutable sync::SpinLock lock_;
+  std::vector<Gate*> gates_;
+  std::vector<RecvRequest*> pending_;
+  WildPort* port_ = nullptr;
+};
+
+}  // namespace piom::nmad

@@ -1,5 +1,6 @@
 #include "transport/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace piom::transport {
@@ -63,40 +64,96 @@ Cluster::MeshWiring Cluster::create_full_mesh(
   for (auto& row : mesh) row.resize(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
     for (int j = i + 1; j < nodes; ++j) {
-      const std::string pair_name =
-          prefix + "." + std::to_string(i) + "-" + std::to_string(j);
-      auto& fwd =
-          mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      auto& rev =
-          mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
-      const PairWiring wiring = policy.wiring(i, j);
-      if (wiring == PairWiring::kTcp || wiring == PairWiring::kUds) {
-        auto [a, b] = TcpTransport::create_loopback_pair(
-            tcp_node(i), tcp_node(j), pair_name + ".sock",
-            wiring == PairWiring::kTcp ? Endpoint::Scheme::kTcp
-                                       : Endpoint::Scheme::kUds);
-        fwd.push_back(a);
-        rev.push_back(b);
-        continue;
-      }
-      if (wiring != PairWiring::kSimnet) {
-        // The shmem fast path is rail 0: the strategy layer sends eager
-        // and control traffic on the lowest-latency rail.
-        auto [a, b] = shmem_.create_channel_pair(pair_name + ".shm");
-        fwd.push_back(a);
-        rev.push_back(b);
-      }
-      if (wiring != PairWiring::kShmem) {
-        for (int r = 0; r < rails_per_pair; ++r) {
-          auto [a, b] = fabric_.create_link(
-              pair_name + ".r" + std::to_string(r), link);
-          fwd.push_back(a);
-          rev.push_back(b);
-        }
-      }
+      wire_pair(mesh, i, j, rails_per_pair, link, prefix, policy);
     }
   }
   return mesh;
+}
+
+void Cluster::wire_pair(MeshWiring& mesh, int i, int j, int rails_per_pair,
+                        const simnet::LinkModel& link,
+                        const std::string& prefix,
+                        const BackendPolicy& policy) {
+  const std::string pair_name =
+      prefix + "." + std::to_string(i) + "-" + std::to_string(j);
+  auto& fwd = mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  auto& rev = mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+  const PairWiring wiring = policy.wiring(i, j);
+  if (wiring == PairWiring::kTcp || wiring == PairWiring::kUds) {
+    auto [a, b] = TcpTransport::create_loopback_pair(
+        tcp_node(i), tcp_node(j), pair_name + ".sock",
+        wiring == PairWiring::kTcp ? Endpoint::Scheme::kTcp
+                                   : Endpoint::Scheme::kUds);
+    fwd.push_back(a);
+    rev.push_back(b);
+    return;
+  }
+  if (wiring != PairWiring::kSimnet) {
+    // The shmem fast path is rail 0: the strategy layer sends eager
+    // and control traffic on the lowest-latency rail.
+    auto [a, b] = shmem_.create_channel_pair(pair_name + ".shm");
+    fwd.push_back(a);
+    rev.push_back(b);
+  }
+  if (wiring != PairWiring::kShmem) {
+    for (int r = 0; r < rails_per_pair; ++r) {
+      auto [a, b] =
+          fabric_.create_link(pair_name + ".r" + std::to_string(r), link);
+      fwd.push_back(a);
+      rev.push_back(b);
+    }
+  }
+}
+
+void Cluster::init_lazy_mesh(int nodes, int rails_per_pair,
+                             const simnet::LinkModel& link,
+                             const std::string& prefix,
+                             const BackendPolicy& policy) {
+  if (nodes < 2) {
+    throw std::invalid_argument("Cluster::init_lazy_mesh: nodes >= 2");
+  }
+  if (rails_per_pair < 1) {
+    throw std::invalid_argument("Cluster::init_lazy_mesh: rails >= 1");
+  }
+  policy.validate(nodes);
+  std::lock_guard<std::mutex> g(lazy_lock_);
+  if (lazy_nodes_ != 0) {
+    throw std::logic_error("Cluster::init_lazy_mesh: already initialised");
+  }
+  lazy_nodes_ = nodes;
+  lazy_rails_per_pair_ = rails_per_pair;
+  lazy_link_ = link;
+  lazy_prefix_ = prefix;
+  lazy_policy_ = policy;
+  lazy_mesh_.assign(static_cast<std::size_t>(nodes), {});
+  for (auto& row : lazy_mesh_) row.resize(static_cast<std::size_t>(nodes));
+}
+
+const std::vector<IChannel*>& Cluster::pair_rails(int rank, int peer) {
+  if (rank == peer || rank < 0 || peer < 0 || rank >= lazy_nodes_ ||
+      peer >= lazy_nodes_) {
+    throw std::invalid_argument("Cluster::pair_rails: bad rank pair");
+  }
+  std::lock_guard<std::mutex> g(lazy_lock_);
+  auto& fwd =
+      lazy_mesh_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(peer)];
+  if (fwd.empty()) {
+    wire_pair(lazy_mesh_, std::min(rank, peer), std::max(rank, peer),
+              lazy_rails_per_pair_, lazy_link_, lazy_prefix_, lazy_policy_);
+  }
+  return fwd;
+}
+
+const std::vector<IChannel*>* Cluster::existing_pair_rails(int rank,
+                                                           int peer) const {
+  if (rank == peer || rank < 0 || peer < 0 || rank >= lazy_nodes_ ||
+      peer >= lazy_nodes_) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> g(lazy_lock_);
+  const auto& fwd =
+      lazy_mesh_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(peer)];
+  return fwd.empty() ? nullptr : &fwd;
 }
 
 }  // namespace piom::transport

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -84,11 +85,52 @@ class Cluster {
                               const std::string& prefix = "mesh",
                               const BackendPolicy& policy = {});
 
+  // ---- lazy pairwise wiring (sparse overlays / lazy gates) ----
+
+  /// Declare an N-node mesh without creating any channel: pairs are wired
+  /// on first pair_rails() request instead of all upfront, so a world that
+  /// only ever talks along a sparse overlay pays O(active pairs), not
+  /// O(N²). Same naming and per-pair wiring rules as create_full_mesh.
+  void init_lazy_mesh(int nodes, int rails_per_pair,
+                      const simnet::LinkModel& link = {},
+                      const std::string& prefix = "mesh",
+                      const BackendPolicy& policy = {});
+
+  /// Node `rank`'s rail channels towards `peer`, creating the pair (both
+  /// directions) on first request. Thread-safe; the returned reference is
+  /// stable for the cluster's lifetime. Requires init_lazy_mesh.
+  const std::vector<IChannel*>& pair_rails(int rank, int peer);
+
+  /// Rails already created for (rank, peer); nullptr when the pair was
+  /// never requested. Does not create anything (kill_rank's sever sweep).
+  [[nodiscard]] const std::vector<IChannel*>* existing_pair_rails(
+      int rank, int peer) const;
+
+  /// Nodes declared by init_lazy_mesh (0 = eager/none).
+  [[nodiscard]] int lazy_nodes() const { return lazy_nodes_; }
+
  private:
+  /// Wire the unordered pair {i, j} (i < j) into `mesh` following
+  /// `policy` — the shared body of create_full_mesh and pair_rails.
+  void wire_pair(MeshWiring& mesh, int i, int j, int rails_per_pair,
+                 const simnet::LinkModel& link, const std::string& prefix,
+                 const BackendPolicy& policy);
+
   ClusterConfig config_;
   simnet::Fabric fabric_;
   ShmemTransport shmem_;
   std::vector<std::unique_ptr<TcpTransport>> tcp_nodes_;
+
+  /// Lazy-mesh state (guarded by lazy_lock_; the outer MeshWiring vectors
+  /// are sized at init and never resized, so inner-vector references stay
+  /// stable across later pair creations).
+  mutable std::mutex lazy_lock_;
+  int lazy_nodes_ = 0;
+  int lazy_rails_per_pair_ = 1;
+  simnet::LinkModel lazy_link_{};
+  std::string lazy_prefix_;
+  BackendPolicy lazy_policy_{};
+  MeshWiring lazy_mesh_;
 };
 
 }  // namespace piom::transport
