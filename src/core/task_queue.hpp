@@ -192,11 +192,11 @@ class LockedTaskQueue final : public ITaskQueue {
 
  private:
   mutable Lock lock_;
-  Task* head_ = nullptr;
-  Task* tail_ = nullptr;
+  Task* head_ PIOM_GUARDED_BY(lock_) = nullptr;
+  Task* tail_ PIOM_GUARDED_BY(lock_) = nullptr;
   alignas(sync::kCacheLine) std::atomic<std::size_t> size_{0};
   alignas(sync::kCacheLine) std::atomic<uint64_t> empty_checks_{0};
-  QueueStats stats_;  // updated under lock_
+  QueueStats stats_ PIOM_GUARDED_BY(lock_);
   const bool double_check_;
   const bool count_stats_;
 };

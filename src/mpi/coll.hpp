@@ -79,7 +79,8 @@ inline constexpr uint32_t kCollPhaseMask = 0xfffu;
 /// live gates (Gate::revoke_tags) so peers' rendezvous rounds aimed at a
 /// rank that will never post the matching receives are NACKed instead of
 /// parking forever.
-inline constexpr Tag kCollEpochWindowMask = 0xffff0000u;
+inline constexpr Tag kCollEpochWindowMask =
+    nmad::kReservedTagBase | (Tag{kCollEpochMask} << 16);
 [[nodiscard]] constexpr Tag coll_epoch_window(uint32_t epoch) {
   return nmad::kReservedTagBase | ((epoch & kCollEpochMask) << 16);
 }

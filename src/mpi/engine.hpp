@@ -99,11 +99,11 @@ class Engine {
 
  private:
   /// One pass over the registry: advance, delist + complete finished ops.
-  /// Requires coll_lock_ held.
-  void sweep_colls();
+  void sweep_colls() PIOM_REQUIRES(coll_lock_);
 
   sync::SpinLock coll_lock_;        ///< guards colls_; serializes sweeps
-  std::vector<CollOp*> colls_;      ///< in-flight collectives of this rank
+  /// In-flight collectives of this rank.
+  std::vector<CollOp*> colls_ PIOM_GUARDED_BY(coll_lock_);
   std::atomic<int> ncolls_{0};      ///< lock-free empty fast path
   /// Optional; ticked by advance_colls(). See attach_detector on atomicity.
   std::atomic<FailureDetector*> fd_{nullptr};

@@ -108,12 +108,14 @@ class PiomanEngine final : public Engine {
   /// emplaced. watched_ dedups watch_gate; home_ round-robins task
   /// placement across the node's cores.
   sync::SpinLock poll_lock_;
-  std::deque<PollTask> poll_tasks_;
-  std::unordered_set<nmad::Gate*> watched_;
-  int home_ = 0;
+  std::deque<PollTask> poll_tasks_ PIOM_GUARDED_BY(poll_lock_);
+  std::unordered_set<nmad::Gate*> watched_ PIOM_GUARDED_BY(poll_lock_);
+  int home_ PIOM_GUARDED_BY(poll_lock_) = 0;
   sync::SpinLock submit_pool_lock_;
-  SubmitJob* submit_pool_ = nullptr;
-  std::vector<std::unique_ptr<SubmitJob>> submit_jobs_;  // storage owner
+  SubmitJob* submit_pool_ PIOM_GUARDED_BY(submit_pool_lock_) = nullptr;
+  /// Storage owner.
+  std::vector<std::unique_ptr<SubmitJob>> submit_jobs_
+      PIOM_GUARDED_BY(submit_pool_lock_);
   std::atomic<int> submit_jobs_in_flight_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;

@@ -100,10 +100,10 @@ class FailureDetector {
   /// Indexed by rank; lock-free reads from rank_failed()/failed_ranks().
   std::unique_ptr<std::atomic<bool>[]> dead_;
   sync::SpinLock lock_;  ///< serializes passes + callback installation
-  std::vector<std::function<void(int)>> callbacks_;
+  std::vector<std::function<void(int)>> callbacks_ PIOM_GUARDED_BY(lock_);
   /// First-verdict latch: the whole reserved (collective) tag space has
-  /// been revoked on the live gates. Guarded by lock_.
-  bool revoked_all_ = false;
+  /// been revoked on the live gates.
+  bool revoked_all_ PIOM_GUARDED_BY(lock_) = false;
 };
 
 }  // namespace piom::mpi

@@ -83,8 +83,10 @@ struct OverlayConfig {
 /// reserved space (above every collective window, below kAnyTag), only ever
 /// appears inside kForward frames with dst == kForwardFloodDst, and is
 /// never posted to a gate matcher — so it cannot collide with, or be
-/// claimed by, any receive.
-inline constexpr Tag kDeathNoticeTag = 0xfffffffeu;
+/// claimed by, any receive. The value lives in nmad/types.hpp with the
+/// rest of the reserved-tag constants (the lint keeps reserved-space
+/// literals in one file).
+inline constexpr Tag kDeathNoticeTag = nmad::kDeathNoticeTag;
 
 /// Creates + installs the gate pair for (this rank, peer) on demand: wires
 /// the transport channels (both directions) and calls
@@ -156,11 +158,15 @@ class ForwardInbox final : public nmad::WildPort {
 
   const int nranks_;
   mutable sync::SpinLock lock_;
-  std::vector<nmad::RecvRequest*> directed_;  ///< parked directed receives
-  std::vector<nmad::RecvRequest*> wilds_;     ///< parked any-source regs
-  std::deque<Staged> staged_;                 ///< complete, unmatched (FIFO)
-  std::map<std::pair<int, uint64_t>, Assembly> assembling_;
-  std::vector<bool> dead_;  ///< by source rank
+  /// Parked directed receives.
+  std::vector<nmad::RecvRequest*> directed_ PIOM_GUARDED_BY(lock_);
+  /// Parked any-source registrations.
+  std::vector<nmad::RecvRequest*> wilds_ PIOM_GUARDED_BY(lock_);
+  /// Complete, unmatched messages (FIFO).
+  std::deque<Staged> staged_ PIOM_GUARDED_BY(lock_);
+  std::map<std::pair<int, uint64_t>, Assembly> assembling_
+      PIOM_GUARDED_BY(lock_);
+  std::vector<bool> dead_ PIOM_GUARDED_BY(lock_);  ///< by source rank
 };
 
 /// Counters for tests/benches (monotonic; snapshot consistency not
@@ -310,10 +316,12 @@ class Membership {
   std::unique_ptr<std::atomic<uint64_t>[]> fseq_;
 
   sync::SpinLock windows_lock_;
-  std::vector<std::pair<Tag, Tag>> windows_;  ///< replayed on late gates
+  /// Revocation windows, replayed on late gates.
+  std::vector<std::pair<Tag, Tag>> windows_ PIOM_GUARDED_BY(windows_lock_);
 
   sync::SpinLock flood_lock_;
-  std::vector<bool> flooded_;  ///< death notice already flooded, by rank
+  /// Death notice already flooded, by rank.
+  std::vector<bool> flooded_ PIOM_GUARDED_BY(flood_lock_);
   std::atomic<bool> isolating_{false};
 
   struct AtomicStats {

@@ -235,13 +235,14 @@ class Gate {
 
   // Reliability layer.
   /// Record `pkt_seq` as received. False when it is a duplicate.
-  bool dedup_mark(uint64_t pkt_seq);  // requires lock_
+  bool dedup_mark(uint64_t pkt_seq) PIOM_REQUIRES(lock_);
   /// Send a kAck for `pkt_seq` on rail 0.
   void send_ack(uint64_t pkt_seq);
   /// Send a kNack refusing the rendezvous (tag, seq) on rail 0.
   void send_nack(Tag tag, uint64_t seq);
-  /// Complete + release an acknowledged, landed packet. Call WITHOUT lock_.
-  void finalize_reliable_pw(PacketWrapper* pw);
+  /// Complete + release an acknowledged, landed packet. Call WITHOUT lock_
+  /// (completion wakes waiters that may re-enter the gate).
+  void finalize_reliable_pw(PacketWrapper* pw) PIOM_EXCLUDES(lock_);
 
   // Rendezvous pull: post the RDMA-Read chunks for a matched RTS.
   void start_pull(RecvRequest& req, const RdvStub& rts);
@@ -264,7 +265,7 @@ class Gate {
                          std::size_t len, SendRequest* req);
 
   // Pending-send packing (strategy layer). Must be called WITHOUT lock_.
-  void submit_pending();
+  void submit_pending() PIOM_EXCLUDES(lock_);
   void post_pw(PacketWrapper* pw, int rail_index);
 
   /// Deliver `payload` into a matched receive and complete it.
@@ -286,17 +287,20 @@ class Gate {
   TagMatcher matcher_;
 
   mutable sync::SpinLock lock_;  // pending sends + reliability + rdv state
-  SendRequest* pending_head_ = nullptr;  // intrusive FIFO of deferred sends
-  SendRequest* pending_tail_ = nullptr;
-  std::size_t pending_count_ = 0;
-  std::deque<SendRequest*> rdv_waiting_fin_;
+  /// Intrusive FIFO of deferred sends.
+  SendRequest* pending_head_ PIOM_GUARDED_BY(lock_) = nullptr;
+  SendRequest* pending_tail_ PIOM_GUARDED_BY(lock_) = nullptr;
+  std::size_t pending_count_ PIOM_GUARDED_BY(lock_) = 0;
+  std::deque<SendRequest*> rdv_waiting_fin_ PIOM_GUARDED_BY(lock_);
   std::atomic<uint64_t> next_seq_{1};
 
   // Reliability layer state (guarded by lock_).
-  uint64_t next_pkt_seq_ = 1;
-  std::deque<PacketWrapper*> unacked_;
-  uint64_t dedup_floor_ = 0;                 ///< all pkt_seq <= floor seen
-  std::unordered_set<uint64_t> dedup_sparse_;///< seen above the floor
+  uint64_t next_pkt_seq_ PIOM_GUARDED_BY(lock_) = 1;
+  std::deque<PacketWrapper*> unacked_ PIOM_GUARDED_BY(lock_);
+  /// All pkt_seq <= floor seen.
+  uint64_t dedup_floor_ PIOM_GUARDED_BY(lock_) = 0;
+  /// Seen above the floor.
+  std::unordered_set<uint64_t> dedup_sparse_ PIOM_GUARDED_BY(lock_);
 
   // Failure detection state. Lock-free: last_heard_ns_ is stamped on the
   // poll path (must not contend with lock_), peer_dead_ gates the fast
@@ -304,7 +308,8 @@ class Gate {
   std::atomic<int64_t> last_heard_ns_{0};
   std::atomic<bool> peer_dead_{false};
 
-  GateStats stats_;  // send-side + reliability counters, protected by lock_
+  /// Send-side + reliability counters.
+  GateStats stats_ PIOM_GUARDED_BY(lock_);
 
   /// Receive-path counters. The matcher refactor moved these paths off
   /// lock_, so they are atomics (relaxed: monotonic counters, snapshot

@@ -106,69 +106,72 @@ class TagMatcher {
   TagMatcher(const TagMatcher&) = delete;
   TagMatcher& operator=(const TagMatcher&) = delete;
 
-  void lock() const { lock_.lock(); }
-  void unlock() const { lock_.unlock(); }
+  void lock() const PIOM_ACQUIRE(lock_) { lock_.lock(); }
+  void unlock() const PIOM_RELEASE(lock_) { lock_.unlock(); }
 
   // ---- posted (expected) receives — all require the lock ----
 
   /// Append `req` to the posted structure (bucket / sidecar / scan list).
-  void insert_posted(RecvRequest& req);
+  void insert_posted(RecvRequest& req) PIOM_REQUIRES(lock_);
 
   /// Drop a registration (wildcard purge). False when not queued here.
-  bool remove_posted(RecvRequest& req);
+  bool remove_posted(RecvRequest& req) PIOM_REQUIRES(lock_);
 
   /// Cancel outcome for cancel_posted().
   enum class Cancel { kAbsent, kStale, kClaimed };
   /// Withdraw `req`: kClaimed when this caller now owns it (entry removed),
   /// kStale when a sibling gate claimed it first (stale entry removed),
   /// kAbsent when it was not queued here.
-  Cancel cancel_posted(RecvRequest& req);
+  Cancel cancel_posted(RecvRequest& req) PIOM_REQUIRES(lock_);
 
   /// Match one arrival against the posted receives: the eligible request
   /// with the lowest post-order stamp wins (exact-tag bucket candidate vs
   /// wildcard-sidecar head). Claims the winner; stale (sibling-claimed)
   /// entries encountered on the way are dropped. Null when nothing matches.
-  RecvRequest* claim_for_arrival(Tag arrival);
+  RecvRequest* claim_for_arrival(Tag arrival) PIOM_REQUIRES(lock_);
 
   /// Claim every still-unclaimed posted receive into `claimed` and empty
   /// the structure (fail_peer: all of them error-complete).
-  void drain_posted(std::vector<RecvRequest*>& claimed);
+  void drain_posted(std::vector<RecvRequest*>& claimed) PIOM_REQUIRES(lock_);
 
   // ---- unexpected arrivals — all require the lock unless noted ----
 
   /// Stage an eager payload / an RTS that found no posted receive.
   void stage_eager(Tag tag, uint64_t seq, const uint8_t* payload,
-                   std::size_t len);
-  void stage_rts(Tag tag, uint64_t seq, uint64_t len, uint64_t raddr);
+                   std::size_t len) PIOM_REQUIRES(lock_);
+  void stage_rts(Tag tag, uint64_t seq, uint64_t len, uint64_t raddr)
+      PIOM_REQUIRES(lock_);
 
   /// Match `req` against the staged arrivals: lowest sequence number among
   /// eligible entries (eager and RTS compete by seq). On a match the entry
   /// is unlinked and returned — the caller delivers outside the lock, then
   /// recycle()s it. `lost` is set when the match existed but a sibling gate
   /// already claimed the (any-source) request; nothing is unlinked then.
-  UnexEntry* claim_unexpected(RecvRequest& req, bool& lost);
+  UnexEntry* claim_unexpected(RecvRequest& req, bool& lost)
+      PIOM_REQUIRES(lock_);
 
   /// Return a claimed entry to the pool. Takes the lock itself.
-  void recycle(UnexEntry* entry);
+  void recycle(UnexEntry* entry) PIOM_EXCLUDES(lock_);
 
   /// Drop every staged arrival (fail_peer: nothing may match a dead peer).
-  void clear_unexpected();
+  void clear_unexpected() PIOM_REQUIRES(lock_);
 
   // ---- revoked tag windows — require the lock ----
 
   /// True when `tag` falls in a revoked window.
-  [[nodiscard]] bool tag_revoked(Tag tag) const;
+  [[nodiscard]] bool tag_revoked(Tag tag) const PIOM_REQUIRES(lock_);
 
   /// Add the window (idempotent) and sweep the staged arrivals: RTS
   /// entries in the window are collected into `nack_rts` (the caller NACKs
   /// them outside the lock), eager entries are dropped.
-  void revoke(Tag mask, Tag value, std::vector<RdvStub>& nack_rts);
+  void revoke(Tag mask, Tag value, std::vector<RdvStub>& nack_rts)
+      PIOM_REQUIRES(lock_);
 
   // ---- introspection ----
 
   [[nodiscard]] MatcherKind kind() const { return kind_; }
   /// Counter snapshot. Takes the lock itself.
-  [[nodiscard]] MatcherStats stats_snapshot() const;
+  [[nodiscard]] MatcherStats stats_snapshot() const PIOM_EXCLUDES(lock_);
 
  private:
   struct PostedNode {
@@ -190,7 +193,8 @@ class TagMatcher {
     return static_cast<std::size_t>(tag) & bucket_mask_;
   }
   /// The posted list `req` lives in under the current layout.
-  [[nodiscard]] PostedList& posted_home(const RecvRequest& req);
+  [[nodiscard]] PostedList& posted_home(const RecvRequest& req)
+      PIOM_REQUIRES(lock_);
 
   static void posted_push_back(PostedList& l, PostedNode* n);
   static void posted_unlink(PostedList& l, PostedNode* n);
@@ -199,51 +203,51 @@ class TagMatcher {
   static void bkt_push_back(UnexList& l, UnexEntry* e);
   static void bkt_unlink(UnexList& l, UnexEntry* e);
 
-  PostedNode* alloc_node();
-  void free_node(PostedNode* n);
-  UnexEntry* alloc_entry();
-  void free_entry(UnexEntry* e);  ///< to the freelist, capacity kept
+  PostedNode* alloc_node() PIOM_REQUIRES(lock_);
+  void free_node(PostedNode* n) PIOM_REQUIRES(lock_);
+  UnexEntry* alloc_entry() PIOM_REQUIRES(lock_);
+  void free_entry(UnexEntry* e) PIOM_REQUIRES(lock_);  ///< capacity kept
 
   /// Unlink a matched/swept entry from every list it is on.
-  void unlink_unexpected(UnexEntry* e);
+  void unlink_unexpected(UnexEntry* e) PIOM_REQUIRES(lock_);
 
   /// Claim-or-drop loop over one posted list in scan order (kScan layout
   /// and drain); returns the first claimed eligible request.
-  RecvRequest* scan_posted(PostedList& l, Tag arrival);
+  RecvRequest* scan_posted(PostedList& l, Tag arrival) PIOM_REQUIRES(lock_);
 
   const MatcherKind kind_;
   std::size_t bucket_mask_ = 0;
 
   mutable sync::SpinLock lock_;
   // Posted receives. kScan: posted_all_ only. kBucket: buckets + sidecar.
-  PostedList posted_all_;
-  std::vector<PostedList> posted_buckets_;
-  PostedList posted_wild_;  ///< the kAnyTag sidecar
-  uint64_t next_order_ = 1;
-  std::size_t posted_depth_ = 0;
+  PostedList posted_all_ PIOM_GUARDED_BY(lock_);
+  std::vector<PostedList> posted_buckets_ PIOM_GUARDED_BY(lock_);
+  PostedList posted_wild_ PIOM_GUARDED_BY(lock_);  ///< the kAnyTag sidecar
+  uint64_t next_order_ PIOM_GUARDED_BY(lock_) = 1;
+  std::size_t posted_depth_ PIOM_GUARDED_BY(lock_) = 0;
 
   // Unexpected arrivals: arrival-order list (always) + buckets (kBucket).
-  UnexList unex_ord_;
-  std::vector<UnexList> unex_buckets_;
-  std::size_t unex_depth_ = 0;
+  UnexList unex_ord_ PIOM_GUARDED_BY(lock_);
+  std::vector<UnexList> unex_buckets_ PIOM_GUARDED_BY(lock_);
+  std::size_t unex_depth_ PIOM_GUARDED_BY(lock_) = 0;
 
   /// Revoked tag windows, (mask, value) pairs. Grows by one entry per
   /// dying collective epoch; never shrinks (tiny, and a failed
   /// communicator is terminal under ULFM semantics anyway).
-  std::vector<std::pair<Tag, Tag>> revoked_;
+  std::vector<std::pair<Tag, Tag>> revoked_ PIOM_GUARDED_BY(lock_);
 
   // Freelists (nodes and entries are recycled, never returned to malloc
   // before destruction).
-  PostedNode* node_free_ = nullptr;
-  UnexEntry* entry_free_ = nullptr;
+  PostedNode* node_free_ PIOM_GUARDED_BY(lock_) = nullptr;
+  UnexEntry* entry_free_ PIOM_GUARDED_BY(lock_) = nullptr;
 
   // Counters (owned by lock_).
-  uint64_t bucket_hits_ = 0;
-  uint64_t wildcard_scans_ = 0;
-  uint64_t posted_hw_ = 0;
-  uint64_t unex_hw_ = 0;
-  uint64_t pool_hits_ = 0;
-  uint64_t pool_misses_ = 0;
+  uint64_t bucket_hits_ PIOM_GUARDED_BY(lock_) = 0;
+  uint64_t wildcard_scans_ PIOM_GUARDED_BY(lock_) = 0;
+  uint64_t posted_hw_ PIOM_GUARDED_BY(lock_) = 0;
+  uint64_t unex_hw_ PIOM_GUARDED_BY(lock_) = 0;
+  uint64_t pool_hits_ PIOM_GUARDED_BY(lock_) = 0;
+  uint64_t pool_misses_ PIOM_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace piom::nmad

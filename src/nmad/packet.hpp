@@ -78,7 +78,7 @@ class PwPool {
 
  private:
   sync::SpinLock lock_;
-  PacketWrapper* head_ = nullptr;
+  PacketWrapper* head_ PIOM_GUARDED_BY(lock_) = nullptr;
   std::atomic<uint64_t> allocated_{0};
   std::atomic<uint64_t> hits_{0};
 };

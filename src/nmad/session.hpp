@@ -87,7 +87,7 @@ class Session {
   }
   [[nodiscard]] Gate& gate(std::size_t i) {
     gates_lock_.lock();
-    Gate& g = *gates_[i];
+    Gate& g = *gates_[i];  // the Gate object itself is stable, not guarded
     gates_lock_.unlock();
     return g;
   }
@@ -99,7 +99,9 @@ class Session {
   /// Guards the table only — Gate objects are stable once created (their
   /// pointers may be used without the lock).
   mutable sync::SpinLock gates_lock_;
-  std::vector<std::unique_ptr<Gate>> gates_;
+  std::vector<std::unique_ptr<Gate>> gates_ PIOM_GUARDED_BY(gates_lock_);
+  /// Installed once before any forwarded traffic can arrive (see
+  /// set_forward_handler); read-only afterwards, so intentionally unguarded.
   ForwardHandler forward_;
 };
 

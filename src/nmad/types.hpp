@@ -32,6 +32,12 @@ inline constexpr Tag kAnyTag = 0xffffffffu;
 /// steal the collective's packets.
 inline constexpr Tag kReservedTagBase = 0xf0000000u;
 
+/// Sentinel tag of a membership death-notice flood frame (see
+/// mpi/membership.hpp for the protocol). Sits at the very top of the
+/// reserved space, just below kAnyTag; defined here because reserved-space
+/// tag literals live in this file only (enforced by tools/lint).
+inline constexpr Tag kDeathNoticeTag = 0xfffffffeu;
+
 /// True when `t` is an internal (reserved-space) wire tag. Arrivals never
 /// carry kAnyTag, so the sentinel needs no special-casing here.
 [[nodiscard]] inline constexpr bool tag_is_reserved(Tag t) {

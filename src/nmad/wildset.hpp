@@ -79,9 +79,9 @@ class WildSet {
 
  private:
   mutable sync::SpinLock lock_;
-  std::vector<Gate*> gates_;
-  std::vector<RecvRequest*> pending_;
-  WildPort* port_ = nullptr;
+  std::vector<Gate*> gates_ PIOM_GUARDED_BY(lock_);
+  std::vector<RecvRequest*> pending_ PIOM_GUARDED_BY(lock_);
+  WildPort* port_ PIOM_GUARDED_BY(lock_) = nullptr;
 };
 
 }  // namespace piom::nmad

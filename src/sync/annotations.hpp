@@ -1,0 +1,68 @@
+// Clang Thread Safety Analysis macros (portable no-op shim).
+//
+// Under clang with -Wthread-safety these expand to the capability
+// attributes, turning the repo's lock-discipline comments ("guards X",
+// "requires lock_ held", "call WITHOUT lock_") into compile-time checked
+// contracts. Under GCC (the development container) every macro expands to
+// nothing, so annotated code builds identically everywhere.
+//
+// Conventions (see docs/static-analysis.md):
+//   * Lock classes are PIOM_CAPABILITY; the scoped guard is
+//     PIOM_SCOPED_CAPABILITY (sync::LockGuard in sync/spinlock.hpp).
+//   * Data a lock protects is PIOM_GUARDED_BY(lock_).
+//   * Helpers named `*_locked` (or documented "requires lock held") are
+//     PIOM_REQUIRES(lock_).
+//   * Functions documented "call WITHOUT the lock" that take it themselves
+//     are PIOM_EXCLUDES(lock_).
+//   * PIOM_NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort;
+//     every use must carry a comment saying why the analysis is wrong.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PIOM_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef PIOM_THREAD_ANNOTATION_
+#define PIOM_THREAD_ANNOTATION_(x)  // not clang (or too old): no-op
+#endif
+
+/// On a class: instances are capabilities (lockable things).
+#define PIOM_CAPABILITY(x) PIOM_THREAD_ANNOTATION_(capability(x))
+
+/// On a class: RAII object that acquires in its ctor, releases in its dtor.
+#define PIOM_SCOPED_CAPABILITY PIOM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// On a data member: reads and writes require holding `x`.
+#define PIOM_GUARDED_BY(x) PIOM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// On a pointer member: the pointed-to data requires holding `x`.
+#define PIOM_PT_GUARDED_BY(x) PIOM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// On a function: caller must already hold the listed capabilities.
+#define PIOM_REQUIRES(...) \
+  PIOM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// On a function: acquires the listed capabilities (held on return).
+#define PIOM_ACQUIRE(...) \
+  PIOM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// On a function: releases the listed capabilities (caller held them).
+#define PIOM_RELEASE(...) \
+  PIOM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// On a function returning bool: acquires iff the return value == `b`.
+#define PIOM_TRY_ACQUIRE(b, ...) \
+  PIOM_THREAD_ANNOTATION_(try_acquire_capability(b, ##__VA_ARGS__))
+
+/// On a function: caller must NOT hold the listed capabilities (the
+/// function takes them itself; holding them would self-deadlock).
+#define PIOM_EXCLUDES(...) \
+  PIOM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// On a function: returns a reference to the capability guarding `x`.
+#define PIOM_RETURN_CAPABILITY(x) PIOM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Comment every use.
+#define PIOM_NO_THREAD_SAFETY_ANALYSIS \
+  PIOM_THREAD_ANNOTATION_(no_thread_safety_analysis)

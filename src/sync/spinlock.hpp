@@ -7,26 +7,32 @@
 //   * TicketLock — FIFO-fair spinlock (shows NUMA-unfairness effects the
 //                  paper observed on the global queue of `kwak`)
 //   * MutexLock  — std::mutex adapter, for the lock ablation bench
-// All three satisfy the Lockable concept used by LockedTaskQueue<Lock>.
+// All three satisfy the Lockable concept used by LockedTaskQueue<Lock>,
+// and all three are thread-safety capabilities: under clang's
+// -Wthread-safety (the PIOM_ANALYZE build) the compiler proves that
+// PIOM_GUARDED_BY data is only touched with the right lock held. Prefer
+// sync::LockGuard below over std::lock_guard — libstdc++'s guard carries
+// no annotations, so the analysis cannot see the acquire through it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 
+#include "sync/annotations.hpp"
 #include "sync/backoff.hpp"
 #include "sync/cache.hpp"
 
 namespace piom::sync {
 
 /// TTAS spinlock with exponential backoff.
-class SpinLock {
+class PIOM_CAPABILITY("spinlock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() PIOM_ACQUIRE() {
     Backoff backoff;
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -35,12 +41,14 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() PIOM_TRY_ACQUIRE(true) {
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() PIOM_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
@@ -49,13 +57,13 @@ class SpinLock {
 /// FIFO ticket lock. Fair, but every waiter spins on the same counter, so
 /// on NUMA machines release-to-acquire latency depends on distance — the
 /// effect behind the paper's unbalanced global-queue distribution on kwak.
-class TicketLock {
+class PIOM_CAPABILITY("ticketlock") TicketLock {
  public:
   TicketLock() = default;
   TicketLock(const TicketLock&) = delete;
   TicketLock& operator=(const TicketLock&) = delete;
 
-  void lock() {
+  void lock() PIOM_ACQUIRE() {
     const uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
     Backoff backoff;
     while (serving_.load(std::memory_order_acquire) != ticket) {
@@ -63,7 +71,7 @@ class TicketLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() PIOM_TRY_ACQUIRE(true) {
     uint32_t cur = serving_.load(std::memory_order_acquire);
     uint32_t expected = cur;
     // Only succeeds when no one is queued behind `cur`.
@@ -72,7 +80,9 @@ class TicketLock {
                                          std::memory_order_relaxed);
   }
 
-  void unlock() { serving_.fetch_add(1, std::memory_order_release); }
+  void unlock() PIOM_RELEASE() {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
 
  private:
   std::atomic<uint32_t> next_{0};
@@ -80,15 +90,44 @@ class TicketLock {
 };
 
 /// std::mutex with the same surface, for the ablation benchmark: the paper
-/// predicts this loses to spinlocks because of context-switch risk.
-class MutexLock {
+/// predicts this loses to spinlocks because of context-switch risk. Also
+/// the lock of choice where a capability-annotated blocking mutex is
+/// needed (std::mutex itself carries no annotations in libstdc++).
+class PIOM_CAPABILITY("mutex") MutexLock {
  public:
-  void lock() { m_.lock(); }
-  bool try_lock() { return m_.try_lock(); }
-  void unlock() { m_.unlock(); }
+  void lock() PIOM_ACQUIRE() { m_.lock(); }
+  bool try_lock() PIOM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void unlock() PIOM_RELEASE() { m_.unlock(); }
 
  private:
   std::mutex m_;
+};
+
+/// Tag type for LockGuard's adopting constructor (std::adopt_lock_t
+/// equivalent, kept local so the guard stays self-contained).
+struct AdoptLock {
+  explicit AdoptLock() = default;
+};
+inline constexpr AdoptLock kAdoptLock{};
+
+/// Annotated scoped guard: RAII like std::lock_guard, but visible to the
+/// thread-safety analysis (acquires in the ctor, releases in the dtor).
+/// Works with any of the capability classes above.
+template <typename Lock>
+class PIOM_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Lock& lock) PIOM_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  /// Adopt a lock the caller already holds (pairs with try_lock).
+  LockGuard(Lock& lock, AdoptLock) PIOM_REQUIRES(lock) : lock_(lock) {}
+  ~LockGuard() PIOM_RELEASE() { lock_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
 };
 
 }  // namespace piom::sync

@@ -125,14 +125,17 @@ class ShmemChannel final : public IChannel {
     std::vector<uint8_t> data;
   };
 
-  Msg* acquire_msg();                    // requires tx_lock_
-  void release_msg(Msg* m);              // requires tx_lock_
-  void pump_tx_locked();                 // spill queue -> ring
-  void pump_tx();                        // locked wrapper (peer-driven)
-  void retire_done_sends_locked();       // done descriptors -> tx cq
+  Msg* acquire_msg() PIOM_REQUIRES(tx_lock_);
+  void release_msg(Msg* m) PIOM_REQUIRES(tx_lock_);
+  /// Spill queue -> ring.
+  void pump_tx_locked() PIOM_REQUIRES(tx_lock_);
+  /// Locked wrapper around pump_tx_locked (peer-driven re-pump).
+  void pump_tx() PIOM_EXCLUDES(tx_lock_);
+  /// Done descriptors -> tx cq.
+  void retire_done_sends_locked() PIOM_REQUIRES(tx_lock_);
   /// Consume every message currently in the inbound ring (deliver into
   /// posted buffers or stage copies). Serialized by rx_lock_.
-  void drain_rx();
+  void drain_rx() PIOM_EXCLUDES(rx_lock_);
 
   const std::string name_;
   const ShmemConfig config_;
@@ -142,24 +145,26 @@ class ShmemChannel final : public IChannel {
 
   // TX side (descriptors towards the peer + send/rdma completions).
   mutable sync::SpinLock tx_lock_;
-  std::deque<Msg*> spill_;     ///< sends that found the ring full (FIFO)
-  std::deque<Msg*> inflight_;  ///< pushed to the ring, completion pending
-  std::deque<Completion> tx_cq_;
+  /// Sends that found the ring full (FIFO).
+  std::deque<Msg*> spill_ PIOM_GUARDED_BY(tx_lock_);
+  /// Pushed to the ring, completion pending.
+  std::deque<Msg*> inflight_ PIOM_GUARDED_BY(tx_lock_);
+  std::deque<Completion> tx_cq_ PIOM_GUARDED_BY(tx_lock_);
   std::atomic<std::size_t> tx_cq_size_{0};
   std::atomic<std::size_t> tx_backlog_{0};   ///< spill_.size()
   std::atomic<std::size_t> inflight_count_{0};  ///< inflight_.size()
-  Msg* msg_free_ = nullptr;
-  std::vector<std::unique_ptr<Msg>> msg_storage_;
+  Msg* msg_free_ PIOM_GUARDED_BY(tx_lock_) = nullptr;
+  std::vector<std::unique_ptr<Msg>> msg_storage_ PIOM_GUARDED_BY(tx_lock_);
 
   // RX side.
   mutable sync::SpinLock rx_lock_;
-  std::deque<RecvDesc> rx_descs_;
-  std::deque<StagedArrival> staged_;
-  std::deque<Completion> rx_cq_;
+  std::deque<RecvDesc> rx_descs_ PIOM_GUARDED_BY(rx_lock_);
+  std::deque<StagedArrival> staged_ PIOM_GUARDED_BY(rx_lock_);
+  std::deque<Completion> rx_cq_ PIOM_GUARDED_BY(rx_lock_);
   std::atomic<std::size_t> rx_cq_size_{0};
 
   mutable sync::SpinLock stats_lock_;
-  ChannelStats stats_;
+  ChannelStats stats_ PIOM_GUARDED_BY(stats_lock_);
 
   std::atomic<bool> severed_{false};
 };

@@ -142,10 +142,10 @@ void TcpChannel::post_send(const void* buf, std::size_t len, uint64_t wrid) {
   if (severed()) {
     // Drop-model drain: complete without touching the wire (or `buf`).
     {
-      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      sync::LockGuard<sync::SpinLock> s(stats_lock_);
       ++stats_.packets_dropped;
     }
-    std::lock_guard<sync::SpinLock> g(tx_lock_);
+    sync::LockGuard<sync::SpinLock> g(tx_lock_);
     tx_cq_.push_back(Completion{Completion::Kind::kSend, wrid, len, false});
     tx_cq_size_.fetch_add(1, std::memory_order_release);
     return;
@@ -160,7 +160,7 @@ void TcpChannel::post_send(const void* buf, std::size_t len, uint64_t wrid) {
   op.payload_len = len;
   op.wrid = wrid;
   op.completes_send = true;
-  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  sync::LockGuard<sync::SpinLock> g(tx_lock_);
   txq_.push_back(op);
   tx_pending_.fetch_add(1, std::memory_order_release);
   tx_data_backlog_.fetch_add(1, std::memory_order_release);
@@ -181,7 +181,7 @@ void TcpChannel::drain_staged_locked() {
 }
 
 void TcpChannel::post_recv(void* buf, std::size_t cap, uint64_t wrid) {
-  std::lock_guard<sync::SpinLock> g(rx_lock_);
+  sync::LockGuard<sync::SpinLock> g(rx_lock_);
   if (!staged_.empty()) {
     // A frame arrived before this buffer was posted: deliver the staged
     // copy now (same late-post semantics as the NIC model and shmem).
@@ -199,14 +199,14 @@ void TcpChannel::post_recv(void* buf, std::size_t cap, uint64_t wrid) {
 void TcpChannel::post_rdma_read(void* local, const void* remote,
                                 std::size_t len, uint64_t wrid) {
   if (severed()) {
-    std::lock_guard<sync::SpinLock> g(tx_lock_);
+    sync::LockGuard<sync::SpinLock> g(tx_lock_);
     tx_cq_.push_back(Completion{Completion::Kind::kRdmaRead, wrid, 0, true});
     tx_cq_size_.fetch_add(1, std::memory_order_release);
     return;
   }
   const uint64_t req_id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<sync::SpinLock> g(rx_lock_);
+    sync::LockGuard<sync::SpinLock> g(rx_lock_);
     pending_rdma_[req_id] = PendingRdma{local, len, wrid};
     pending_rdma_count_.fetch_add(1, std::memory_order_release);
   }
@@ -221,7 +221,7 @@ void TcpChannel::post_rdma_read(void* local, const void* remote,
   std::memcpy(op.head, &hdr, sizeof(hdr));
   std::memcpy(op.head + sizeof(hdr), &meta, sizeof(meta));
   op.head_len = sizeof(hdr) + sizeof(meta);
-  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  sync::LockGuard<sync::SpinLock> g(tx_lock_);
   txq_.push_back(op);
   tx_pending_.fetch_add(1, std::memory_order_release);
   flush_tx_locked();
@@ -234,7 +234,7 @@ void TcpChannel::complete_data_send_locked(const SendOp& op) {
 }
 
 int TcpChannel::flush_tx() {
-  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  sync::LockGuard<sync::SpinLock> g(tx_lock_);
   return flush_tx_locked();
 }
 
@@ -266,7 +266,7 @@ int TcpChannel::flush_tx_locked() {
     txq_.swap(keep);
     tx_pending_.store(txq_.size(), std::memory_order_release);
     if (dropped > 0) {
-      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      sync::LockGuard<sync::SpinLock> s(stats_lock_);
       stats_.packets_dropped += dropped;
     }
     if (is_dead || txq_.empty()) return events;
@@ -319,7 +319,7 @@ int TcpChannel::flush_tx_locked() {
         if (front.completes_send) {
           complete_data_send_locked(front);
           tx_data_backlog_.fetch_sub(1, std::memory_order_release);
-          std::lock_guard<sync::SpinLock> s(stats_lock_);
+          sync::LockGuard<sync::SpinLock> s(stats_lock_);
           ++stats_.packets_tx;
           stats_.bytes_tx += front.payload_len;
         }
@@ -348,7 +348,7 @@ void TcpChannel::drain_disconnected() {
   // arrive, or would be NACKed anyway), then drain the send queue.
   std::vector<Completion> fails;
   {
-    std::lock_guard<sync::SpinLock> g(rx_lock_);
+    sync::LockGuard<sync::SpinLock> g(rx_lock_);
     for (const auto& entry : pending_rdma_) {
       fails.push_back(Completion{Completion::Kind::kRdmaRead,
                                  entry.second.wrid, 0, true});
@@ -356,7 +356,7 @@ void TcpChannel::drain_disconnected() {
     pending_rdma_.clear();
     pending_rdma_count_.store(0, std::memory_order_release);
   }
-  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  sync::LockGuard<sync::SpinLock> g(tx_lock_);
   for (const Completion& c : fails) {
     tx_cq_.push_back(c);
     tx_cq_size_.fetch_add(1, std::memory_order_release);
@@ -379,7 +379,7 @@ bool TcpChannel::poll_tx(Completion& out) {
     peer_->owner_.pump();
   }
   if (tx_cq_size_.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  sync::LockGuard<sync::SpinLock> g(tx_lock_);
   if (tx_cq_.empty()) return false;
   out = tx_cq_.front();
   tx_cq_.pop_front();
@@ -399,7 +399,7 @@ bool TcpChannel::poll_rx(Completion& out) {
     peer_->owner_.pump();
   }
   if (rx_cq_size_.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<sync::SpinLock> g(rx_lock_);
+  sync::LockGuard<sync::SpinLock> g(rx_lock_);
   if (rx_cq_.empty()) return false;
   out = rx_cq_.front();
   rx_cq_.pop_front();
@@ -408,7 +408,7 @@ bool TcpChannel::poll_rx(Completion& out) {
 }
 
 ChannelStats TcpChannel::stats() const {
-  std::lock_guard<sync::SpinLock> g(stats_lock_);
+  sync::LockGuard<sync::SpinLock> g(stats_lock_);
   return stats_;
 }
 
@@ -443,10 +443,10 @@ bool TcpChannel::begin_frame_body() {
         // through staged_ + drain so it cannot overtake an older staged
         // arrival (or be overtaken by one).
         if (!severed()) {
-          std::lock_guard<sync::SpinLock> g(rx_lock_);
+          sync::LockGuard<sync::SpinLock> g(rx_lock_);
           staged_.emplace_back();
           drain_staged_locked();
-          std::lock_guard<sync::SpinLock> s(stats_lock_);
+          sync::LockGuard<sync::SpinLock> s(stats_lock_);
           ++stats_.packets_rx;
         }
         rx_stage_ = RxStage::kHeader;
@@ -460,7 +460,7 @@ bool TcpChannel::begin_frame_body() {
       // staged arrival ahead of this frame, and the descriptor is big
       // enough. Otherwise the frame goes through staged_ and leaves via
       // drain_staged_locked() in FIFO order (truncating like shmem does).
-      std::lock_guard<sync::SpinLock> g(rx_lock_);
+      sync::LockGuard<sync::SpinLock> g(rx_lock_);
       if (staged_.empty() && !rx_descs_.empty() &&
           rx_descs_.front().cap >= rx_hdr_.len) {
         rx_desc_ = rx_descs_.front();
@@ -511,10 +511,10 @@ void TcpChannel::serve_rdma_request(const RdmaReqMeta& req) {
     op.payload = reinterpret_cast<const void*>(
         static_cast<uintptr_t>(req.raddr));
     op.payload_len = req.len;
-    std::lock_guard<sync::SpinLock> s(stats_lock_);
+    sync::LockGuard<sync::SpinLock> s(stats_lock_);
     ++stats_.rdma_reads_served;
   }
-  std::lock_guard<sync::SpinLock> g(tx_lock_);
+  sync::LockGuard<sync::SpinLock> g(tx_lock_);
   txq_.push_back(op);
   tx_pending_.fetch_add(1, std::memory_order_release);
   flush_tx_locked();
@@ -526,7 +526,7 @@ void TcpChannel::complete_rdma_resp_meta() {
   bool have_pending = false;
   PendingRdma pending{};
   {
-    std::lock_guard<sync::SpinLock> g(rx_lock_);
+    sync::LockGuard<sync::SpinLock> g(rx_lock_);
     const auto it = pending_rdma_.find(rx_resp_meta_.req_id);
     if (it != pending_rdma_.end()) {
       have_pending = true;
@@ -539,7 +539,7 @@ void TcpChannel::complete_rdma_resp_meta() {
     // Late response (the read already failed via sever), a NACK, or a
     // length the requester never asked for: sink the body, fail the read.
     if (have_pending) {
-      std::lock_guard<sync::SpinLock> g(tx_lock_);
+      sync::LockGuard<sync::SpinLock> g(tx_lock_);
       tx_cq_.push_back(
           Completion{Completion::Kind::kRdmaRead, pending.wrid, 0, true});
       tx_cq_size_.fetch_add(1, std::memory_order_release);
@@ -549,7 +549,7 @@ void TcpChannel::complete_rdma_resp_meta() {
     return;
   }
   if (body == 0) {
-    std::lock_guard<sync::SpinLock> g(tx_lock_);
+    sync::LockGuard<sync::SpinLock> g(tx_lock_);
     tx_cq_.push_back(
         Completion{Completion::Kind::kRdmaRead, pending.wrid, 0, false});
     tx_cq_size_.fetch_add(1, std::memory_order_release);
@@ -565,12 +565,12 @@ void TcpChannel::finish_frame() {
   switch (rx_stage_) {
     case RxStage::kDataDirect: {
       {
-        std::lock_guard<sync::SpinLock> g(rx_lock_);
+        sync::LockGuard<sync::SpinLock> g(rx_lock_);
         rx_cq_.push_back(Completion{Completion::Kind::kRecv, rx_desc_.wrid,
                                     rx_hdr_.len, false});
         rx_cq_size_.fetch_add(1, std::memory_order_release);
       }
-      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      sync::LockGuard<sync::SpinLock> s(stats_lock_);
       ++stats_.packets_rx;
       stats_.bytes_rx += rx_hdr_.len;
       break;
@@ -581,18 +581,18 @@ void TcpChannel::finish_frame() {
         // still in flight (post_recv only drains *completed* staged
         // arrivals): deliver now, or the next frame would go direct and
         // overtake this one.
-        std::lock_guard<sync::SpinLock> g(rx_lock_);
+        sync::LockGuard<sync::SpinLock> g(rx_lock_);
         staged_.push_back(std::move(rx_staged_));
         drain_staged_locked();
       }
       rx_staged_ = std::vector<uint8_t>();
-      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      sync::LockGuard<sync::SpinLock> s(stats_lock_);
       ++stats_.packets_rx;
       stats_.bytes_rx += rx_hdr_.len;
       break;
     }
     case RxStage::kDataDiscard: {
-      std::lock_guard<sync::SpinLock> s(stats_lock_);
+      sync::LockGuard<sync::SpinLock> s(stats_lock_);
       ++stats_.packets_dropped;
       break;
     }
@@ -603,7 +603,7 @@ void TcpChannel::finish_frame() {
       break;
     }
     case RxStage::kRdmaRespBody: {
-      std::lock_guard<sync::SpinLock> g(tx_lock_);
+      sync::LockGuard<sync::SpinLock> g(tx_lock_);
       tx_cq_.push_back(Completion{Completion::Kind::kRdmaRead,
                                   rx_resp_dst_.wrid, rx_resp_dst_.len,
                                   false});
@@ -745,8 +745,8 @@ int TcpChannel::handle_readable() {
 TcpTransport::TcpTransport(TcpConfig config) : config_(config) {}
 
 TcpTransport::~TcpTransport() {
-  std::lock_guard<std::mutex> pump_guard(pump_lock_);
-  std::lock_guard<std::mutex> g(state_lock_);
+  sync::LockGuard<sync::MutexLock> pump_guard(pump_lock_);
+  sync::LockGuard<sync::MutexLock> g(state_lock_);
   for (const auto& ch : channels_) poller_.remove(ch->fd_);
   channels_.clear();  // closes the fds
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -761,9 +761,9 @@ TcpChannel* TcpTransport::adopt_fd(int fd, std::string name, bool uds) {
   TcpChannel* raw = ch.get();
   // The poller's bookkeeping is only touched under pump_lock_ (wait() runs
   // inside pump(), add() here) so registration never races the event loop.
-  std::lock_guard<std::mutex> pump_guard(pump_lock_);
+  sync::LockGuard<sync::MutexLock> pump_guard(pump_lock_);
   {
-    std::lock_guard<std::mutex> g(state_lock_);
+    sync::LockGuard<sync::MutexLock> g(state_lock_);
     channels_.push_back(std::move(ch));
   }
   poller_.add(fd, raw);
@@ -771,13 +771,13 @@ TcpChannel* TcpTransport::adopt_fd(int fd, std::string name, bool uds) {
 }
 
 void TcpTransport::snapshot_channels(std::vector<TcpChannel*>& out) const {
-  std::lock_guard<std::mutex> g(state_lock_);
+  sync::LockGuard<sync::MutexLock> g(state_lock_);
   out.reserve(channels_.size());
   for (const auto& ch : channels_) out.push_back(ch.get());
 }
 
 std::size_t TcpTransport::channel_count() const {
-  std::lock_guard<std::mutex> g(state_lock_);
+  sync::LockGuard<sync::MutexLock> g(state_lock_);
   return channels_.size();
 }
 
@@ -843,7 +843,7 @@ std::pair<IChannel*, IChannel*> TcpTransport::create_loopback_pair(
 }
 
 void TcpTransport::listen(const Endpoint& addr) {
-  std::lock_guard<std::mutex> g(state_lock_);
+  sync::LockGuard<sync::MutexLock> g(state_lock_);
   if (listen_fd_ >= 0) {
     throw std::logic_error("TcpTransport::listen: already listening");
   }
@@ -887,7 +887,7 @@ void TcpTransport::listen(const Endpoint& addr) {
 }
 
 const Endpoint& TcpTransport::listen_endpoint() const {
-  std::lock_guard<std::mutex> g(state_lock_);
+  sync::LockGuard<sync::MutexLock> g(state_lock_);
   if (listen_fd_ < 0) {
     throw std::logic_error("TcpTransport::listen_endpoint: not listening");
   }
@@ -949,8 +949,16 @@ std::vector<IChannel*> TcpTransport::connect_mesh(
   // Accept from every higher rank (identified by its hello).
   int outstanding = n - my_rank - 1;
   const bool uds = listen_endpoint().scheme == Endpoint::Scheme::kUds;
+  // Snapshot the listener fd once: it is written under state_lock_ (and
+  // listen_endpoint() above has already proven it exists), but the accept
+  // loop must not read the field without the lock.
+  int lfd = -1;
+  {
+    sync::LockGuard<sync::MutexLock> g(state_lock_);
+    lfd = listen_fd_;
+  }
   while (outstanding > 0) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    pollfd pfd{lfd, POLLIN, 0};
     const int64_t left = deadline - now_ms();
     if (left <= 0) {
       throw std::runtime_error(
@@ -959,7 +967,7 @@ std::vector<IChannel*> TcpTransport::connect_mesh(
     const int pr = ::poll(&pfd, 1, static_cast<int>(left < 100 ? left : 100));
     if (pr < 0 && errno != EINTR) sys_fail("poll(listen)");
     if (pr <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == EAGAIN) continue;
       sys_fail("accept");
@@ -985,7 +993,7 @@ std::vector<IChannel*> TcpTransport::connect_mesh(
 
 int TcpTransport::pump() {
   if (!pump_lock_.try_lock()) return 0;
-  std::lock_guard<std::mutex> guard(pump_lock_, std::adopt_lock);
+  sync::LockGuard<sync::MutexLock> guard(pump_lock_, sync::kAdoptLock);
   int events = 0;
   aio::FdPoller::Event evs[kMaxEvents];
   const int n = poller_.wait(evs, kMaxEvents, 0);

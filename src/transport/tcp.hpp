@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -179,8 +178,8 @@ class TcpChannel final : public IChannel {
   int handle_readable();
   /// Write queued frames (single sendmsg over up to kIovBatch iovecs).
   int flush_tx();
-  int flush_tx_locked();
-  void complete_data_send_locked(const SendOp& op);
+  int flush_tx_locked() PIOM_REQUIRES(tx_lock_);
+  void complete_data_send_locked(const SendOp& op) PIOM_REQUIRES(tx_lock_);
   /// Socket died (EOF, ECONNRESET, EPIPE...): drain everything that can
   /// no longer complete normally.
   void mark_dead();
@@ -193,7 +192,7 @@ class TcpChannel final : public IChannel {
   /// shmem's truncation semantics. rx_lock_ must be held. Every arrival
   /// that cannot go direct funnels through staged_ and leaves through
   /// here, so per-channel FIFO survives a descriptor posted mid-frame.
-  void drain_staged_locked();
+  void drain_staged_locked() PIOM_REQUIRES(rx_lock_);
   void serve_rdma_request(const RdmaReqMeta& req);
   void complete_rdma_resp_meta();
 
@@ -210,8 +209,8 @@ class TcpChannel final : public IChannel {
   // written under tx_lock_. Lock order: rx_lock_ may be taken before
   // tx_lock_, never the other way around.
   mutable sync::SpinLock tx_lock_;
-  std::deque<SendOp> txq_;
-  std::deque<Completion> tx_cq_;
+  std::deque<SendOp> txq_ PIOM_GUARDED_BY(tx_lock_);
+  std::deque<Completion> tx_cq_ PIOM_GUARDED_BY(tx_lock_);
   std::atomic<std::size_t> tx_cq_size_{0};
   std::atomic<std::size_t> tx_pending_{0};  ///< txq_.size()
   std::atomic<std::size_t> tx_data_backlog_{0};  ///< unsent kData frames
@@ -219,11 +218,12 @@ class TcpChannel final : public IChannel {
   // RX side: posted buffers, staged arrivals, recv completions and this
   // side's outstanding RDMA reads.
   mutable sync::SpinLock rx_lock_;
-  std::deque<RecvDesc> rx_descs_;
-  std::deque<std::vector<uint8_t>> staged_;
-  std::deque<Completion> rx_cq_;
+  std::deque<RecvDesc> rx_descs_ PIOM_GUARDED_BY(rx_lock_);
+  std::deque<std::vector<uint8_t>> staged_ PIOM_GUARDED_BY(rx_lock_);
+  std::deque<Completion> rx_cq_ PIOM_GUARDED_BY(rx_lock_);
   std::atomic<std::size_t> rx_cq_size_{0};
-  std::unordered_map<uint64_t, PendingRdma> pending_rdma_;
+  std::unordered_map<uint64_t, PendingRdma> pending_rdma_
+      PIOM_GUARDED_BY(rx_lock_);
   std::atomic<std::size_t> pending_rdma_count_{0};
   std::atomic<uint64_t> next_req_id_{1};
 
@@ -239,7 +239,7 @@ class TcpChannel final : public IChannel {
   PendingRdma rx_resp_dst_{};       ///< kRdmaRespBody target
 
   mutable sync::SpinLock stats_lock_;
-  ChannelStats stats_;
+  ChannelStats stats_ PIOM_GUARDED_BY(stats_lock_);
 };
 
 /// Factory + event loop for socket channels. One instance per "process
@@ -300,12 +300,16 @@ class TcpTransport final : public ITransport {
 
   TcpConfig config_;
   aio::FdPoller poller_;
-  std::mutex pump_lock_;
-  mutable std::mutex state_lock_;  ///< channels_ + listener fields
-  std::vector<std::unique_ptr<TcpChannel>> channels_;
-  int listen_fd_ = -1;
+  sync::MutexLock pump_lock_;
+  mutable sync::MutexLock state_lock_;  ///< channels_ + listener fields
+  std::vector<std::unique_ptr<TcpChannel>> channels_
+      PIOM_GUARDED_BY(state_lock_);
+  int listen_fd_ PIOM_GUARDED_BY(state_lock_) = -1;
+  /// Deliberately unannotated: listen_endpoint() returns a const& to it
+  /// (it is written once, before any reader can exist).
   Endpoint listen_addr_{};
-  std::string unlink_path_;  ///< uds listener socket file, removed in dtor
+  /// uds listener socket file, removed in dtor.
+  std::string unlink_path_ PIOM_GUARDED_BY(state_lock_);
 };
 
 }  // namespace piom::transport

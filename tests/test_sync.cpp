@@ -83,6 +83,51 @@ TEST(TicketLock, IsFifoFair) {
   EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(MutexLock, TryLock) {
+  MutexLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  std::thread other([&] { EXPECT_FALSE(lock.try_lock()); });
+  other.join();
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+template <typename Lock>
+void lock_guard_excludes() {
+  Lock lock;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard<Lock> g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(LockGuard, ExcludesOnSpinLock) { lock_guard_excludes<SpinLock>(); }
+TEST(LockGuard, ExcludesOnMutexLock) { lock_guard_excludes<MutexLock>(); }
+
+TEST(LockGuard, AdoptsHeldLock) {
+  // The try_lock + adopt idiom (TcpTransport::pump): the guard must NOT
+  // re-acquire, and must release on scope exit.
+  SpinLock lock;
+  ASSERT_TRUE(lock.try_lock());
+  {
+    LockGuard<SpinLock> g(lock, kAdoptLock);
+    EXPECT_FALSE(lock.try_lock());  // still held — adopt didn't release
+  }
+  EXPECT_TRUE(lock.try_lock());  // guard released at scope exit
+  lock.unlock();
+}
+
 TEST(Semaphore, InitialValue) {
   Semaphore sem(2);
   EXPECT_TRUE(sem.try_wait());

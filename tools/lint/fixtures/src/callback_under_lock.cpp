@@ -1,0 +1,33 @@
+#include <functional>
+#include <vector>
+#include "sync/locks.hpp"
+struct Engine {
+  sync::SpinLock lock_;
+  std::function<void(int)> cb_;
+  std::vector<std::function<void(int)>> callbacks_;
+  void bad_manual() {
+    lock_.lock();
+    cb_(1);  // VIOLATION: callback invoked under a held spinlock
+    lock_.unlock();
+  }
+  void bad_guard() {
+    sync::LockGuard<sync::SpinLock> g(lock_);
+    cb_(2);  // VIOLATION: callback invoked inside a LockGuard scope
+  }
+  void bad_loop() {
+    lock_.lock();
+    for (const auto& cb : callbacks_) {
+      cb(3);  // VIOLATION: element of a std::function container
+    }
+    lock_.unlock();
+  }
+  void good_snapshot() {
+    lock_.lock();
+    std::vector<std::function<void(int)>> cbs = callbacks_;
+    lock_.unlock();
+    for (const auto& cb : cbs) {
+      cb(4);  // fine: invoked after the unlock
+    }
+    cb_(5);  // fine: no lock held
+  }
+};

@@ -1,0 +1,5 @@
+// Fixture: the one file allowed to spell reserved-tag-space literals.
+#pragma once
+using Tag = unsigned;
+inline constexpr Tag kAnyTag = 0xffffffffu;
+inline constexpr Tag kDeathNoticeTag = 0xfffffffeu;

@@ -1,0 +1,9 @@
+#include <atomic>
+struct Desc { std::atomic<unsigned> done; };
+void bad_complete(Desc* d) {
+  d->done.store(1, std::memory_order_relaxed);  // VIOLATION: must be release
+}
+void ok_reset(Desc* d) {
+  d->done.store(0, std::memory_order_relaxed);  // reset: fine
+  d->done.store(1, std::memory_order_release);
+}

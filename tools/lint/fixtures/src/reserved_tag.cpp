@@ -1,0 +1,6 @@
+using Tag = unsigned;
+inline constexpr Tag kBadTag = 0xffff0001u;  // VIOLATION: not in types.hpp
+inline constexpr unsigned kPlainMask = 0xABCDu;
+unsigned ok_extract(unsigned long long raddr) {
+  return static_cast<unsigned>((raddr >> 32) & 0xFFFFFFFFu);
+}

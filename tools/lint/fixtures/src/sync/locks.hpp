@@ -1,0 +1,17 @@
+// Fixture: minimal lock surface so the global name-collection passes see
+// sync::SpinLock declarations and the LockGuard spelling.
+#pragma once
+namespace sync {
+class SpinLock {
+ public:
+  void lock();
+  bool try_lock();
+  void unlock();
+};
+template <class Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& lock);
+  ~LockGuard();
+};
+}  // namespace sync

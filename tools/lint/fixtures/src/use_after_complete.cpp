@@ -1,0 +1,18 @@
+#include <atomic>
+struct Msg { std::atomic<unsigned> done; unsigned len; };
+void bad_consume(Msg* m) {
+  unsigned n = m->len;
+  m->done.store(1, std::memory_order_release);
+  n += m->len;  // VIOLATION: m touched after its completion store
+  (void)n;
+}
+void ok_consume(Msg* m) {
+  unsigned n = m->len;
+  (void)n;
+  m->done.store(1, std::memory_order_release);
+}
+void ok_reassigned(Msg* m, Msg* other) {
+  m->done.store(1, std::memory_order_release);
+  m = other;
+  m->done.store(1, std::memory_order_release);
+}
